@@ -1,0 +1,71 @@
+"""Ablation — what the low-exergy decomposition buys.
+
+The paper's §II argument: decomposing cooling (18 degC water) from
+dehumidification (8 degC water) lets each loop run at its lowest
+feasible exergy.  This bench sweeps the chilled-water temperature of an
+otherwise identical machine and shows the COP cliff a combined 8 degC
+system falls off, then re-serves the measured BubbleZERO loads through
+the AirCon baseline to quantify the system-level difference.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.baselines.aircon import AirConBaseline
+from repro.hydronics.chiller import CarnotFractionChiller
+
+REJECT_C = 34.9  # the paper's afternoon + condenser approach
+SWEEP_C = [6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0]
+
+
+class TestDecompositionAblation:
+    def test_cop_vs_working_temperature(self, benchmark):
+        def sweep():
+            return {temp: CarnotFractionChiller(
+                f"c{temp}", temp, 0.30).cop_at(REJECT_C)
+                for temp in SWEEP_C}
+
+        cops = benchmark(sweep)
+        rows = [[t, f"{cops[t]:.2f}"] for t in SWEEP_C]
+        print()
+        print(render_table(
+            "Ablation — chiller COP vs chilled-water temperature "
+            "(identical machine)", ["T_cold (degC)", "COP"], rows))
+
+        # Monotone: every degree of working temperature helps.
+        ordered = [cops[t] for t in SWEEP_C]
+        assert ordered == sorted(ordered)
+        # The paper's specific comparison: 18 degC vs 8 degC.
+        gain = cops[18.0] / cops[8.0]
+        print(f"  18 degC vs 8 degC machine COP gain: {gain:.2f}x")
+        assert 1.4 < gain < 2.2
+
+    def test_decomposed_system_beats_combined(self, hvac_trial, benchmark):
+        """Serve the trial's measured loads both ways.
+
+        Decomposed: the radiant share at 18 degC + the latent share at
+        8 degC (what BubbleZERO does).  Combined: everything at 8 degC
+        (what AirCon must do, since one coil both cools and dries).
+        """
+        system, (before, after) = hvac_trial
+        radiant_heat = after["radiant_heat_j"] - before["radiant_heat_j"]
+        vent_heat = after["vent_heat_j"] - before["vent_heat_j"]
+        elapsed = after["time_s"] - before["time_s"]
+
+        def serve_both():
+            warm = CarnotFractionChiller("18C", 18.0, 0.30)
+            cold = CarnotFractionChiller("8C", 8.0, 0.30)
+            decomposed_j = (
+                (radiant_heat / warm.cop_at(REJECT_C))
+                + (vent_heat / cold.cop_at(REJECT_C)))
+            combined = AirConBaseline().serve(
+                radiant_heat + vent_heat, elapsed, REJECT_C)
+            return decomposed_j, combined.electricity_j
+
+        decomposed_j, combined_j = benchmark(serve_both)
+        saving = 1.0 - decomposed_j / combined_j
+        print(f"\nAblation — same load, decomposed vs combined: "
+              f"{decomposed_j / 1e6:.2f} MJ vs {combined_j / 1e6:.2f} MJ "
+              f"({saving * 100:.0f}% electricity saved)")
+        assert decomposed_j < combined_j
+        assert saving > 0.20

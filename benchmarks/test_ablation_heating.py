@@ -1,0 +1,81 @@
+"""Extension — low-exergy heating: supply temperature vs heating COP.
+
+The exergy argument the paper builds on is symmetric (its ref. [23]
+implements low-exergy *heating*): the closer the heating medium's
+temperature is to the room's, the less work the heat pump does per
+joule delivered.  This bench serves an identical winter heating load
+through supply temperatures from radiant-panel-warm (28 degC) to
+radiator-hot (60 degC), plus the resistive-heater floor (COP 1).
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.hydronics.heatpump import CarnotFractionHeatPump
+
+SOURCE_C = 5.0            # winter outdoor air (the heat source)
+LOAD_W = 3000.0           # envelope loss to cover
+SUPPLY_SWEEP_C = [28.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0, 60.0]
+ETA_II = 0.40             # one machine efficiency for the whole sweep
+
+
+class TestHeatingExtension:
+    def test_cop_vs_supply_temperature(self, benchmark):
+        def sweep():
+            results = {}
+            for supply in SUPPLY_SWEEP_C:
+                pump = CarnotFractionHeatPump(
+                    f"hp{supply}", supply, ETA_II, capacity_w=LOAD_W)
+                power = pump.electrical_power_w(LOAD_W, SOURCE_C)
+                results[supply] = {
+                    "cop": pump.cop_at(SOURCE_C),
+                    "power_w": power,
+                }
+            return results
+
+        results = benchmark(sweep)
+        resistive_w = LOAD_W  # COP 1 floor
+        rows = [[t, f"{results[t]['cop']:.2f}",
+                 f"{results[t]['power_w']:.0f}",
+                 f"{(1 - results[t]['power_w'] / resistive_w) * 100:.0f}%"]
+                for t in SUPPLY_SWEEP_C]
+        rows.append(["resistive", "1.00", f"{resistive_w:.0f}", "0%"])
+        print()
+        print(render_table(
+            f"Extension — heating COP vs supply temperature "
+            f"(source {SOURCE_C} degC, load {LOAD_W:.0f} W)",
+            ["supply degC", "COP", "electric W", "saved vs resistive"],
+            rows))
+
+        cops = [results[t]["cop"] for t in SUPPLY_SWEEP_C]
+        # Monotone: every degree of supply temperature costs efficiency.
+        assert cops == sorted(cops, reverse=True)
+        # Radiant-panel supply beats radiator supply substantially.
+        gain = results[28.0]["cop"] / results[55.0]["cop"]
+        print(f"  28 degC panels vs 55 degC radiators: {gain:.2f}x COP")
+        assert gain > 1.5
+        # And everything beats resistive heating.
+        assert min(cops) > 1.5
+
+    def test_heating_cooling_symmetry(self, benchmark):
+        """The same exergy logic drives both seasons: the efficiency
+        penalty per kelvin of unnecessary temperature gradient is of
+        the same order for the chiller and the heat pump."""
+        from repro.hydronics.chiller import CarnotFractionChiller
+
+        def measure():
+            cool_gain = (CarnotFractionChiller("c18", 18.0, 0.30)
+                         .cop_at(34.9)
+                         / CarnotFractionChiller("c8", 8.0, 0.30)
+                         .cop_at(34.9))
+            heat_gain = (CarnotFractionHeatPump("h30", 30.0, 0.30)
+                         .cop_at(5.0)
+                         / CarnotFractionHeatPump("h40", 40.0, 0.30)
+                         .cop_at(5.0))
+            return cool_gain, heat_gain
+
+        cool_gain, heat_gain = benchmark(measure)
+        print(f"\n  10 K of avoided gradient buys: cooling {cool_gain:.2f}x,"
+              f" heating {heat_gain:.2f}x")
+        assert cool_gain > 1.2
+        assert heat_gain > 1.2

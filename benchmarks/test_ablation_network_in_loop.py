@@ -1,0 +1,81 @@
+"""Ablation — wireless control loop vs an ideal wired loop.
+
+The implicit claim of the whole paper: closing the HVAC loops over a
+lossy, duty-cycled 802.15.4 network does not measurably degrade control
+quality relative to a wired deployment.  This bench runs the same
+pulldown scenario with (a) the full network stack and (b) controllers
+wired straight to the plant truth, and compares convergence.
+"""
+
+import pytest
+
+from repro.analysis.metrics import convergence_time
+from repro.analysis.reporting import render_table
+from repro.core.config import BubbleZeroConfig, NetworkConfig
+from repro.core.system import BubbleZero
+from repro.sim.clock import parse_clock
+
+START = parse_clock("13:00")
+
+
+def run_pulldown(network_enabled: bool, seed: int = 13) -> BubbleZero:
+    config = BubbleZeroConfig(
+        seed=seed, network=NetworkConfig(enabled=network_enabled))
+    system = BubbleZero(config)
+    system.run(minutes=70)
+    return system
+
+
+class TestNetworkInLoopAblation:
+    def test_wireless_matches_wired_control(self, benchmark):
+        wired = run_pulldown(network_enabled=False)
+        wireless = benchmark.pedantic(
+            lambda: run_pulldown(network_enabled=True),
+            rounds=1, iterations=1)
+
+        rows = []
+        verdicts = {}
+        for label, system in (("wired", wired), ("wireless", wireless)):
+            times, temps = system.subspace_series(0, "temp")
+            t_conv = convergence_time(times, temps, 25.0, 0.6,
+                                      start=START, hold_s=120.0)
+            times, dews = system.subspace_series(0, "dew")
+            d_conv = convergence_time(times, dews, 18.0, 0.8,
+                                      start=START, hold_s=120.0)
+            verdicts[label] = (t_conv, d_conv)
+            rows.append([label,
+                         "n/a" if t_conv is None else f"{t_conv / 60:.1f}",
+                         "n/a" if d_conv is None else f"{d_conv / 60:.1f}"])
+        print()
+        print(render_table(
+            "Ablation — control convergence, wired vs wireless loop",
+            ["loop", "temp conv (min)", "dew conv (min)"], rows))
+
+        for label in ("wired", "wireless"):
+            t_conv, d_conv = verdicts[label]
+            assert t_conv is not None, f"{label} never converged"
+            assert d_conv is not None
+        # The wireless loop costs at most a few minutes of convergence.
+        assert (verdicts["wireless"][0]
+                <= verdicts["wired"][0] + 10 * 60.0)
+        assert (verdicts["wireless"][1]
+                <= verdicts["wired"][1] + 10 * 60.0)
+        # And both stay condensation-free.
+        assert wired.plant.room.condensation_events == 0
+        assert wireless.plant.room.condensation_events == 0
+
+    def test_packet_loss_tolerated(self, benchmark):
+        """Even a lossy channel (10 % per-reception loss) converges."""
+        config = BubbleZeroConfig(
+            seed=17, network=NetworkConfig(loss_probability=0.10))
+        system = benchmark.pedantic(
+            lambda: (lambda s: (s.run(minutes=70), s)[1])(
+                BubbleZero(config)),
+            rounds=1, iterations=1)
+        times, temps = system.subspace_series(0, "temp")
+        t_conv = convergence_time(times, temps, 25.0, 0.7,
+                                  start=START, hold_s=120.0)
+        print(f"\n  10% loss: temperature convergence "
+              f"{t_conv / 60:.1f} min")
+        assert t_conv is not None
+        assert t_conv < 45 * 60.0

@@ -1,0 +1,116 @@
+"""Figure 10 — overall HVAC performance.
+
+Reproduces the paper's §V-A trial: four subspace temperature and
+dew-point traces from 13:00 to 14:45 with the boot-up pulldown
+(28.9 -> 25 degC and 27.4 -> 18 degC dew point in ~30 minutes), the
+15-second door event at 14:05 (localised to the door-side subspaces)
+and the 2-minute door event at 14:25 (system-wide, recovered within
+~15 minutes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import convergence_time, recovery_time
+from repro.analysis.reporting import render_table
+from repro.sim.clock import format_clock, parse_clock
+
+START = parse_clock("13:00")
+SMALL_DOOR = parse_clock("14:05")
+BIG_DOOR = parse_clock("14:25")
+
+
+def print_traces(system):
+    grid = np.arange(START, parse_clock("14:45") + 1, 300.0)
+    for quantity, label in (("temp", "Temperature (degC)"),
+                            ("dew", "Dew point (degC)")):
+        rows = []
+        for t in grid:
+            row = [format_clock(t)]
+            for i in range(4):
+                series = system.sim.trace.series(f"subspace/{i}/{quantity}")
+                row.append(round(series.value_at(t), 2))
+            row.append(round(
+                system.sim.trace.series(f"outdoor/{quantity}").value_at(t),
+                2))
+            rows.append(row)
+        print()
+        print(render_table(
+            f"Figure 10 — {label}",
+            ["time", "subsp1", "subsp2", "subsp3", "subsp4", "outdoor"],
+            rows))
+
+
+class TestFigure10:
+    def test_reproduce_figure10(self, hvac_trial, benchmark):
+        system, _meters = hvac_trial
+        benchmark.pedantic(lambda: print_traces(system), rounds=1,
+                           iterations=1)
+
+        # --- pulldown: target reached in ~30 minutes ------------------
+        for i in range(4):
+            times, temps = system.subspace_series(i, "temp")
+            t_conv = convergence_time(times, temps, target=25.0,
+                                      tolerance=0.6, start=START,
+                                      hold_s=120.0)
+            assert t_conv is not None, f"subspace {i} never reached 25 degC"
+            assert t_conv < 40 * 60.0, (
+                f"subspace {i} took {t_conv / 60:.0f} min (paper: ~30)")
+
+            times, dews = system.subspace_series(i, "dew")
+            d_conv = convergence_time(times, dews, target=18.0,
+                                      tolerance=0.8, start=START,
+                                      hold_s=120.0)
+            assert d_conv is not None
+            assert d_conv < 40 * 60.0
+
+    def test_small_door_event_is_localised(self, hvac_trial, benchmark):
+        """14:05, 15 s: dew rises slightly in the door-side subspaces
+        (paper: +0.6 degC) and much less at the back."""
+        system, _meters = hvac_trial
+
+        def analyse():
+            bumps = []
+            for i in range(4):
+                series = system.sim.trace.series(f"subspace/{i}/dew")
+                before = series.value_at(SMALL_DOOR)
+                window = series.window(SMALL_DOOR, SMALL_DOOR + 240.0)
+                bumps.append(float(np.max(window[1]) - before))
+            return bumps
+
+        bumps = benchmark(analyse)
+        assert bumps[0] > 0.15, "door-side subspace saw no disturbance"
+        assert bumps[0] < 1.5, "disturbance implausibly large"
+        assert bumps[0] > bumps[2]
+        assert bumps[0] > bumps[3]
+        print(f"\nFigure 10 small-door dew bumps (degC): "
+              f"{[round(b, 2) for b in bumps]} (paper: ~0.6 front)")
+
+    def test_big_door_event_recovers(self, hvac_trial, benchmark):
+        """14:25, 2 min: all subspaces disturbed, recovered in ~15 min."""
+        system, _meters = hvac_trial
+        benchmark(lambda: None)  # analysis below is the deliverable
+        recoveries_t = []
+        recoveries_d = []
+        for i in range(4):
+            times, temps = system.subspace_series(i, "temp")
+            r_temp = recovery_time(times, temps, 25.0, 0.7,
+                                   disturbance_at=BIG_DOOR, hold_s=60.0)
+            times, dews = system.subspace_series(i, "dew")
+            r_dew = recovery_time(times, dews, 18.0, 1.0,
+                                  disturbance_at=BIG_DOOR, hold_s=60.0)
+            assert r_temp is not None, f"subspace {i} temp never recovered"
+            assert r_temp < 20 * 60.0, (
+                f"subspace {i} temp recovery {r_temp / 60:.0f} min "
+                f"(paper: ~15)")
+            recoveries_t.append(r_temp / 60.0)
+            recoveries_d.append(None if r_dew is None else r_dew / 60.0)
+        print(f"\nFigure 10 big-door recovery (min): temp="
+              f"{[round(r, 1) for r in recoveries_t]} dew={recoveries_d} "
+              f"(paper: ~15 min)")
+
+    def test_condensation_never_occurs(self, hvac_trial, benchmark):
+        system, _meters = hvac_trial
+        benchmark(lambda: None)
+        assert system.plant.room.condensation_events == 0
+        assert system.plant.guard.violations == 0

@@ -1,0 +1,72 @@
+"""Figure 12 — choosing the histogram size N.
+
+The paper sweeps the histogram size and reports (a) adaptation accuracy
+versus the exact-clustering oracle, reaching ~98 % once N is large
+enough; (b) the RAM footprint on the mote (130 bytes at N = 60); and
+(c) the clustering CPU time (1600 ms at N = 60).  N = 40 is picked as
+the balance point.
+
+The accuracy sweep replays each bt-device's logged variance stream from
+the 5-hour networking trial through histograms of each size — the same
+offline methodology the paper uses against its data logs.
+"""
+
+import pytest
+
+from repro.analysis.replay import mean_accuracy_at_n
+from repro.analysis.reporting import render_table
+from repro.net.histogram import histogram_cpu_seconds, histogram_ram_bytes
+
+N_VALUES = [5, 10, 20, 30, 40, 50, 60, 70]
+
+
+class TestFigure12:
+    def test_reproduce_figure12(self, network_trial_adaptive, benchmark):
+        system = network_trial_adaptive
+        transmitters = system.adaptive_transmitters()
+
+        def sweep():
+            return {n: mean_accuracy_at_n(transmitters, n)
+                    for n in N_VALUES}
+
+        accuracies = benchmark.pedantic(sweep, rounds=1,
+                                        iterations=1)
+
+        rows = [[n, f"{accuracies[n] * 100:.1f}", histogram_ram_bytes(n),
+                 f"{histogram_cpu_seconds(n) * 1000:.0f}"]
+                for n in N_VALUES]
+        print()
+        print(render_table(
+            "Figure 12 — histogram size N",
+            ["N", "accuracy %", "RAM bytes", "CPU ms"], rows))
+        print("  (paper: ~98% accuracy for large N; 130 B and 1600 ms "
+              "at N = 60; default N = 40)")
+
+        # (a) accuracy grows with N and plateaus high.
+        small_n = accuracies[5]
+        large_n = max(accuracies[n] for n in (40, 50, 60, 70))
+        assert large_n >= small_n - 0.02
+        assert large_n > 0.90, f"plateau accuracy {large_n:.3f} too low"
+        assert accuracies[40] > 0.88  # the paper's default works
+
+        # (b) RAM anchor: 130 bytes at N = 60, linear growth.
+        assert histogram_ram_bytes(60) == 130
+        assert (histogram_ram_bytes(70) - histogram_ram_bytes(60)
+                == histogram_ram_bytes(60) - histogram_ram_bytes(50))
+
+        # (c) CPU anchor: 1600 ms at N = 60, superlinear growth.
+        assert histogram_cpu_seconds(60) == pytest.approx(1.6)
+        assert (histogram_cpu_seconds(70) / histogram_cpu_seconds(35)
+                > 2.0)
+
+    def test_default_n40_near_plateau(self, network_trial_adaptive,
+                                      benchmark):
+        """The paper's choice N = 40 gives within a couple of points of
+        the large-N accuracy at a third of the CPU cost."""
+        transmitters = network_trial_adaptive.adaptive_transmitters()
+        at_40 = benchmark.pedantic(
+            lambda: mean_accuracy_at_n(transmitters, 40),
+            rounds=1, iterations=1)
+        at_70 = mean_accuracy_at_n(transmitters, 70)
+        assert at_40 >= at_70 - 0.05
+        assert histogram_cpu_seconds(40) < 0.5 * histogram_cpu_seconds(60)

@@ -1,0 +1,100 @@
+"""Figure 15 — CDF of T_snd and the battery-lifetime consequence.
+
+The paper compares the Fixed scheme (T_snd pinned to T_spl = 2 s) with
+BT-ADPT (T_snd adapts 2 -> 64 s, averaging ~48 s of covered time per
+transmission): with events every ~30 minutes, adaptive bt-devices last
+more than 3.2 years on two AA cells versus merely 0.7 years for Fixed.
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import cdf
+from repro.analysis.reporting import render_series
+from repro.net.energy import lifetime_years_at_period
+
+TRIAL_S = 5 * 3600.0
+
+
+def fleet_periods(system):
+    """Every logged T_snd of every bt-device (one entry per send)."""
+    values = []
+    for node in system.bt_nodes:
+        series = system.sim.trace.series(f"tsnd/{node.device_id}")
+        values.append(series.values())
+    return np.concatenate(values)
+
+
+def fleet_lifetimes(system):
+    return np.array([node.projected_lifetime_years(TRIAL_S)
+                     for node in system.bt_nodes])
+
+
+class TestFigure15:
+    def test_reproduce_figure15(self, network_trial_adaptive,
+                                network_trial_fixed, benchmark):
+        adaptive = network_trial_adaptive
+        fixed = network_trial_fixed
+
+        def analyse():
+            return (fleet_periods(adaptive), fleet_periods(fixed),
+                    fleet_lifetimes(adaptive), fleet_lifetimes(fixed))
+
+        (periods_adpt, periods_fixed,
+         life_adpt, life_fixed) = benchmark(analyse)
+
+        values, prob = cdf(periods_adpt)
+        marks = []
+        for p in (2, 4, 8, 16, 32, 48, 64, 96):
+            mask = values <= p
+            marks.append((float(p), float(prob[mask][-1]) if mask.any()
+                          else 0.0))
+        print()
+        print(render_series("Figure 15 — CDF of T_snd (BT-ADPT)", marks,
+                            x_label="T_snd (s)", y_label="CDF"))
+        # Time-weighted mean period: each send covers its own period of
+        # wall time, which is the quantity the energy model integrates.
+        mean_covered = float(np.average(periods_adpt,
+                                        weights=periods_adpt))
+        print(f"  BT-ADPT time-weighted mean period: {mean_covered:.0f} s "
+              f"(paper: ~48 s)")
+        # The paper's 0.7 y anchor is for the 2-s humidity sensors; the
+        # temperature sensors sample at 3 s and last proportionally
+        # longer even under Fixed.
+        hum_fixed = np.array([
+            node.projected_lifetime_years(TRIAL_S)
+            for node in fixed.bt_nodes
+            if node.policy.sampling_period_s == 2.0])
+        print(f"  lifetimes: BT-ADPT {life_adpt.mean():.1f} y vs Fixed "
+              f"{life_fixed.mean():.2f} y (2-s sensors: "
+              f"{hum_fixed.mean():.2f} y; paper: >3.2 y vs 0.7 y)")
+
+        # --- Fixed baseline: everything at T_spl -----------------------
+        assert set(np.unique(periods_fixed)) <= {2.0, 3.0, 4.0}
+
+        # --- BT-ADPT spans the whole 2..w_max*T_spl range ---------------
+        assert periods_adpt.min() <= 2.0
+        assert periods_adpt.max() >= 64.0
+        assert 20.0 < mean_covered <= 96.0
+
+        # --- lifetime shape: adaptive wins by the paper's factor --------
+        assert hum_fixed.mean() < 0.80   # the paper's 0.7 y anchor class
+        assert life_fixed.mean() < 1.0
+        assert life_adpt.mean() > 2.0
+        ratio = life_adpt.mean() / life_fixed.mean()
+        assert ratio > 2.5, f"lifetime gain only {ratio:.1f}x (paper ~4.6x)"
+
+    def test_closed_form_anchors(self, benchmark):
+        """The paper's arithmetic: 0.7 y at 2 s, 3.2 y at 48 s."""
+        benchmark(lambda: lifetime_years_at_period(48.0))
+        assert abs(lifetime_years_at_period(2.0) - 0.7) < 0.05
+        assert abs(lifetime_years_at_period(48.0) - 3.2) < 0.2
+
+    def test_control_quality_preserved(self, network_trial_adaptive,
+                                       benchmark):
+        """BT-ADPT's point: the saving must not cost control accuracy —
+        the room still holds its targets under adaptive reporting."""
+        system = network_trial_adaptive
+        benchmark(lambda: None)
+        times, temps = system.subspace_series(0, "temp")
+        late = temps[times > times[0] + 2.5 * 3600.0]
+        assert np.abs(late - 25.0).mean() < 0.8

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Building-scale multihop: the paper's future work, running.
+
+Deploys a corridor of BubbleZERO-like rooms whose sensors all report to
+a building supervisor several radio hops away, and compares the two
+dissemination strategies for that regime: naive flooding versus the
+type-based multicast trees the paper sketches in §IV-A.
+
+    python examples/building_scale_multihop.py
+"""
+
+from repro.net.multihop import (
+    FloodingRouter,
+    MulticastRouter,
+    MultihopMedium,
+    build_multicast_trees,
+)
+from repro.net.packet import DataType, Packet
+from repro.net.topology import RadioTopology, corridor_deployment
+from repro.sim.engine import Simulator
+
+ROOMS = 8
+SENSORS_PER_ROOM = 3
+RADIO_RANGE_M = 15.0
+REPORTS = 30
+PERIOD_S = 10.0
+
+
+def run(router_cls, label: str) -> dict:
+    sim = Simulator(seed=11)
+    placements = corridor_deployment(ROOMS, SENSORS_PER_ROOM,
+                                     room_pitch_m=12.0, seed=2)
+    topology = RadioTopology(placements, RADIO_RANGE_M)
+    medium = MultihopMedium(sim, topology, loss_probability=0.01)
+    delivered = []
+    routers = {
+        node: router_cls(sim, medium, node,
+                         on_deliver=lambda p, n: delivered.append(p))
+        for node in topology.node_ids}
+    supervisor = "room0/ctrl"
+    routers[supervisor].subscribe(DataType.TEMPERATURE)
+    sensors = [n for n in topology.node_ids if "/sensor" in n]
+    if router_cls is MulticastRouter:
+        build_multicast_trees(topology, routers,
+                              {DataType.TEMPERATURE: sensors})
+
+    offset = 0.0
+    for sensor in sensors:
+        for k in range(REPORTS):
+            sim.schedule_at(
+                1.0 + offset + k * PERIOD_S,
+                lambda s=sensor: routers[s].originate(Packet(
+                    data_type=DataType.TEMPERATURE, source=s,
+                    created_at=sim.now, payload={"value": 25.0})))
+        offset += 0.21
+    sim.run(REPORTS * PERIOD_S + 60.0)
+
+    sent = len(sensors) * REPORTS
+    result = {
+        "label": label,
+        "delivery": len(delivered) / sent,
+        "transmissions": medium.total_transmissions,
+        "per_report": medium.total_transmissions / max(1, len(delivered)),
+        "collisions": medium.collision_losses,
+    }
+    return result
+
+
+def main() -> None:
+    placements = corridor_deployment(ROOMS, SENSORS_PER_ROOM,
+                                     room_pitch_m=12.0, seed=2)
+    topology = RadioTopology(placements, RADIO_RANGE_M)
+    print("BubbleZERO building-scale extension "
+          f"({ROOMS} rooms, {len(placements)} nodes, "
+          f"{topology.diameter_hops()}-hop diameter)")
+    print(f"far room to supervisor: "
+          f"{topology.hop_distance(f'room{ROOMS - 1}/ctrl', 'room0/ctrl')}"
+          f" hops")
+    print()
+    print(f"{'strategy':<16} {'delivery':>9} {'frames':>8} "
+          f"{'frames/report':>14} {'collisions':>11}")
+    for result in (run(FloodingRouter, "flooding"),
+                   run(MulticastRouter, "type multicast")):
+        print(f"{result['label']:<16} {result['delivery']:9.3f} "
+              f"{result['transmissions']:8d} {result['per_report']:14.1f} "
+              f"{result['collisions']:11d}")
+    print()
+    print("Type-based multicast routes each report along its group tree "
+          "only,\nwhere flooding makes every node repeat every frame — "
+          "the savings pay\ndirectly in bt-device energy, exactly as in "
+          "the single-cell case.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Disturbance response: the paper's §V-A phase-two experiment.
+
+Boots the system to equilibrium, then replays the paper's two door
+events — a 15-second peek at 14:05 and a 2-minute opening at 14:25 —
+and reports how each subspace is disturbed and how quickly the
+distributed controllers pull the room back to target.
+
+    python examples/disturbance_response.py
+"""
+
+import numpy as np
+
+from repro import BubbleZero, BubbleZeroConfig
+from repro.analysis.metrics import recovery_time
+from repro.sim.clock import format_clock, parse_clock
+from repro.workloads.events import paper_phase_two_events
+
+
+def main() -> None:
+    system = BubbleZero(BubbleZeroConfig(seed=7))
+    system.schedule_script(paper_phase_two_events())
+    system.start()
+
+    print("BubbleZERO disturbance response (paper §V-A phase two)")
+    print("booting to equilibrium (13:00 -> 14:00)...")
+    system.run(hours=1)
+    room = system.plant.room
+    print(f"equilibrium: {room.mean_temp_c():.2f} degC, "
+          f"{room.mean_dew_point_c():.2f} degC dew")
+    print()
+    print("phase two: door opens 15 s at 14:05, 2 min at 14:25")
+    print(f"{'time':>8}" + "".join(f"  dew{i + 1:>5}" for i in range(4)))
+    for _ in range(15):
+        system.run(minutes=3)
+        dews = [room.state_of(i).dew_point_c for i in range(4)]
+        print(f"{format_clock(system.sim.now):>8}"
+              + "".join(f" {d:7.2f}" for d in dews))
+
+    print()
+    small_door = parse_clock("14:05")
+    big_door = parse_clock("14:25")
+    for label, event in (("15-second door", small_door),
+                         ("2-minute door", big_door)):
+        print(f"{label} at {format_clock(event)}:")
+        for i in range(4):
+            times, dews = system.subspace_series(i, "dew")
+            window = (times >= event) & (times <= event + 240.0)
+            bump = float(np.max(dews[window]) - dews[times <= event][-1])
+            recovery = recovery_time(times, dews, 18.0, 1.0,
+                                     disturbance_at=event, hold_s=60.0)
+            rec_text = ("n/a" if recovery is None
+                        else f"{recovery / 60.0:4.1f} min")
+            print(f"  subspace {i + 1}: dew bump +{bump:4.2f} degC, "
+                  f"back in band after {rec_text}")
+    print()
+    events = system.plant.room.condensation_events
+    verdict = ("the condensation guard held the panels safe throughout"
+               if events == 0 else "guard margin was violated — check "
+               "the controller tuning")
+    print(f"condensation events during the whole trial: {events} "
+          f"({verdict})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: boot BubbleZERO and watch it reach the paper's targets.
+
+Runs the full distributed system — radiant cooling, distributed
+ventilation, the 802.15.4 control network — against the paper's tropical
+afternoon (28.9 degC outdoors, 27.4 degC dew point) and prints the
+pulldown to the 25 degC / 18 degC-dew target.
+
+    python examples/quickstart.py
+"""
+
+from repro import BubbleZero, BubbleZeroConfig
+from repro.sim.clock import format_clock
+
+
+def main() -> None:
+    system = BubbleZero(BubbleZeroConfig(seed=7))
+    system.start()
+
+    print("BubbleZERO quickstart — paper conditions")
+    print(f"outdoor: {system.config.outdoor.temp_c} degC, "
+          f"{system.config.outdoor.dew_point_c} degC dew point")
+    print(f"target:  {system.config.comfort.preferred_temp_c} degC, "
+          f"~18 degC dew point")
+    print()
+    print(f"{'time':>8} {'temp':>7} {'dew':>7} {'CO2':>6} "
+          f"{'18C tank':>9} {'frames':>8}")
+
+    for _ in range(9):  # 9 x 10 minutes = 13:00 -> 14:30
+        system.run(minutes=10)
+        room = system.plant.room
+        print(f"{format_clock(system.sim.now):>8} "
+              f"{room.mean_temp_c():7.2f} "
+              f"{room.mean_dew_point_c():7.2f} "
+              f"{room.mean_co2_ppm():6.0f} "
+              f"{system.plant.radiant_tank.temp_c:9.2f} "
+              f"{system.network_stats()['transmissions']:8.0f}")
+
+    system.finalize()
+    print()
+    report = system.plant.cop_report()
+    print(f"lifetime COP so far: BubbleZERO {report['bubble_zero']:.2f} "
+          f"(radiant {report['bubble_c']:.2f}, "
+          f"ventilation {report['bubble_v']:.2f})")
+    print(f"condensation events: {system.plant.room.condensation_events} "
+          f"(must be zero)")
+    print(f"collision rate: "
+          f"{system.network_stats()['collision_rate'] * 100:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

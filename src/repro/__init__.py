@@ -1,0 +1,38 @@
+"""repro — a full reproduction of *Energy Efficient HVAC System with
+Distributed Sensing and Control* (BubbleZERO, ICDCS 2014).
+
+The package simulates the complete BubbleZERO stack: the laboratory's
+thermal/moisture/CO2 physics, the hydronic radiant-cooling and
+distributed-ventilation hardware, the sensing and control boards, and
+the 802.15.4 wireless network with the paper's adaptive transmission
+algorithms (BT-ADPT and histogram-based threshold learning).
+
+Quickstart::
+
+    from repro import BubbleZero, BubbleZeroConfig
+
+    system = BubbleZero(BubbleZeroConfig(seed=7))
+    system.run(hours=1.0)
+    print(system.plant.room.mean_temp_c())
+"""
+
+from repro.core import (
+    BubbleZero,
+    BubbleZeroConfig,
+    ComfortConfig,
+    NetworkConfig,
+    OutdoorConfig,
+    Plant,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BubbleZero",
+    "BubbleZeroConfig",
+    "ComfortConfig",
+    "NetworkConfig",
+    "OutdoorConfig",
+    "Plant",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Air-side substrate: the distributed ventilation hardware.
+
+Four airbox + CO2flap pairs, one per subspace (paper §III-C): DC fans,
+a back-draft damper, a filter and a chilled-water copper-coil
+dehumidifier in each airbox; a stepper-driven exhaust flap per subspace.
+"""
+
+from repro.airside.fan import DCFanBank, FAN_SPEED_TABLE, lookup_fan_speed
+from repro.airside.damper import BackdraftDamper
+from repro.airside.coil import DehumidifierCoil, CoilResult
+from repro.airside.airbox import Airbox, AirboxOutput
+from repro.airside.co2flap import CO2Flap
+
+__all__ = [
+    "DCFanBank",
+    "FAN_SPEED_TABLE",
+    "lookup_fan_speed",
+    "BackdraftDamper",
+    "DehumidifierCoil",
+    "CoilResult",
+    "Airbox",
+    "AirboxOutput",
+    "CO2Flap",
+]

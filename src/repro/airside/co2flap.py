@@ -1,0 +1,65 @@
+"""CO2flap: stepper-driven exhaust flap (paper §III-C, Fig. 7(c,d)).
+
+Each subspace's ceiling carries one CO2flap integrated with an exhaust
+channel.  "When DC fans are working, CO2flaps are open, driven by a
+stepper motor, for exhaust" — the flap tracks its airbox so that supply
+and exhaust stay balanced.  The stepper takes a finite time to travel,
+which we model so the exhaust path lags fan starts by a few seconds.
+"""
+
+from __future__ import annotations
+
+
+class CO2Flap:
+    """Exhaust flap with stepper-motor travel dynamics."""
+
+    def __init__(self, name: str, max_exhaust_m3s: float = 0.050,
+                 travel_time_s: float = 4.0,
+                 motor_power_w: float = 1.8) -> None:
+        if max_exhaust_m3s <= 0:
+            raise ValueError(f"flap {name!r}: max exhaust must be positive")
+        if travel_time_s <= 0:
+            raise ValueError(f"flap {name!r}: travel time must be positive")
+        self.name = name
+        self.max_exhaust_m3s = max_exhaust_m3s
+        self.travel_time_s = travel_time_s
+        self.motor_power_w = motor_power_w
+        self._position = 0.0       # 0 closed .. 1 open
+        self._target = 0.0
+        self.energy_j = 0.0
+
+    @property
+    def position(self) -> float:
+        return self._position
+
+    @property
+    def is_open(self) -> bool:
+        return self._position > 0.05
+
+    def command(self, open_flap: bool) -> None:
+        """Set the stepper target (fully open or fully closed)."""
+        self._target = 1.0 if open_flap else 0.0
+
+    def step(self, dt: float) -> None:
+        """Advance the stepper toward its target at constant speed."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        rate = dt / self.travel_time_s
+        moving = abs(self._target - self._position) > 1e-9
+        if self._position < self._target:
+            self._position = min(self._target, self._position + rate)
+        elif self._position > self._target:
+            self._position = max(self._target, self._position - rate)
+        if moving:
+            self.energy_j += self.motor_power_w * dt
+
+    def exhaust_flow(self, supply_flow_m3s: float) -> float:
+        """Exhaust admitted at the current flap position.
+
+        Exhaust is driven by the room's slight over-pressure from the
+        airbox supply, so it can never exceed the supply flow, and is
+        throttled by how far the flap has opened.
+        """
+        if supply_flow_m3s < 0:
+            raise ValueError("supply flow cannot be negative")
+        return min(supply_flow_m3s, self.max_exhaust_m3s) * self._position

@@ -1,0 +1,43 @@
+"""Back-draft damper.
+
+Each airbox holds one damper that "prevents the air leakage when fans
+are not working" (paper §III-C).  It opens passively under fan pressure
+and seals (minus a small leakage term) when the fans stop.
+"""
+
+from __future__ import annotations
+
+
+class BackdraftDamper:
+    """Passive damper gating the airbox intake."""
+
+    def __init__(self, name: str, leakage_fraction: float = 0.01) -> None:
+        if not (0 <= leakage_fraction < 1):
+            raise ValueError(
+                f"damper {name!r}: leakage fraction must be in [0, 1)")
+        self.name = name
+        self.leakage_fraction = leakage_fraction
+        self._open = False
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def update(self, fan_flow_m3s: float) -> None:
+        """Open when the fans push air, close when they stop."""
+        self._open = fan_flow_m3s > 0
+
+    def effective_flow(self, fan_flow_m3s: float,
+                       wind_leak_m3s: float = 0.0) -> float:
+        """Flow actually admitted to the room.
+
+        When the fans run, the damper passes their flow.  When stopped,
+        only the leakage fraction of any wind-driven pressure difference
+        gets through.
+        """
+        if fan_flow_m3s < 0 or wind_leak_m3s < 0:
+            raise ValueError("flows cannot be negative")
+        self.update(fan_flow_m3s)
+        if self._open:
+            return fan_flow_m3s
+        return self.leakage_fraction * wind_leak_m3s

@@ -1,0 +1,89 @@
+"""Airbox DC fans.
+
+Each airbox contains four DC fans that inhale outdoor air (paper
+§III-C).  The commercial fans expose discrete speed steps over RS-232;
+the Control-V-2 driver "looks up the best matched DC fan speed for the
+given F_vent" — we reproduce that lookup table verbatim as the interface
+between the controller's continuous flow demand and the hardware's
+discrete steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+# (speed step, volumetric flow m^3/s, electrical power W) for the bank of
+# four fans together.  Step 0 is off.  Flows are per-airbox; the wide
+# turndown (step 1 trickle for air quality, step 6 for dehumidification
+# pulldown) matches the deployment's tiny steady-state vent load
+# (213 W across four boxes) against its 30-minute dew-point pulldown.
+FAN_SPEED_TABLE: Tuple[Tuple[int, float, float], ...] = (
+    (0, 0.0000, 0.0),
+    (1, 0.0012, 0.6),
+    (2, 0.0030, 1.4),
+    (3, 0.0060, 2.6),
+    (4, 0.0100, 4.4),
+    (5, 0.0150, 7.0),
+    (6, 0.0200, 10.2),
+)
+
+
+def lookup_fan_speed(flow_m3s: float) -> int:
+    """Smallest speed step whose delivered flow meets ``flow_m3s``.
+
+    Mirrors the paper's "lookup the best matched DC fan speed for the
+    given F_vent": the demanded flow is a minimum (we must ventilate at
+    least this much), so we round up; demands beyond the top step clamp
+    to the top step.
+
+    >>> lookup_fan_speed(0.0)
+    0
+    >>> lookup_fan_speed(0.002)
+    2
+    >>> lookup_fan_speed(9.9)
+    6
+    """
+    if flow_m3s < 0:
+        raise ValueError(f"flow demand cannot be negative: {flow_m3s}")
+    if flow_m3s == 0:
+        return 0
+    for step, flow, _power in FAN_SPEED_TABLE:
+        if flow >= flow_m3s - 1e-12:
+            return step
+    return FAN_SPEED_TABLE[-1][0]
+
+
+@dataclass
+class DCFanBank:
+    """The four-fan bank of one airbox, addressed by discrete speed step."""
+
+    name: str
+    speed_step: int = 0
+    energy_j: float = 0.0
+
+    def set_speed(self, step: int) -> None:
+        if not (0 <= step <= FAN_SPEED_TABLE[-1][0]):
+            raise ValueError(
+                f"fan bank {self.name!r}: speed step {step} out of range")
+        self.speed_step = int(step)
+
+    def set_flow_demand(self, flow_m3s: float) -> int:
+        """Pick and apply the table step for ``flow_m3s``; returns it."""
+        step = lookup_fan_speed(flow_m3s)
+        self.set_speed(step)
+        return step
+
+    @property
+    def flow_m3s(self) -> float:
+        return FAN_SPEED_TABLE[self.speed_step][1]
+
+    @property
+    def power_w(self) -> float:
+        return FAN_SPEED_TABLE[self.speed_step][2]
+
+    def integrate(self, dt: float) -> None:
+        """Accumulate fan electrical energy over ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self.energy_j += self.power_w * dt

@@ -1,0 +1,53 @@
+"""Offline analysis of simulation traces: the paper's §V metrics."""
+
+from repro.analysis.metrics import (
+    convergence_time,
+    settling_band_violations,
+    recovery_time,
+    cdf,
+    detection_delays,
+)
+from repro.analysis.comfort import (
+    ComfortInputs,
+    comfort_report,
+    predicted_mean_vote,
+    predicted_percentage_dissatisfied,
+)
+from repro.analysis.export import (
+    export_summary_json,
+    export_traces_csv,
+    load_summary_json,
+    run_summary,
+)
+from repro.analysis.replay import (
+    mean_accuracy_at_n,
+    replay_histogram_accuracy,
+    variance_stream_of,
+)
+from repro.analysis.reporting import (
+    render_table,
+    render_series,
+    render_cop_bars,
+)
+
+__all__ = [
+    "convergence_time",
+    "settling_band_violations",
+    "recovery_time",
+    "cdf",
+    "detection_delays",
+    "ComfortInputs",
+    "comfort_report",
+    "predicted_mean_vote",
+    "predicted_percentage_dissatisfied",
+    "export_summary_json",
+    "export_traces_csv",
+    "load_summary_json",
+    "run_summary",
+    "mean_accuracy_at_n",
+    "replay_histogram_accuracy",
+    "variance_stream_of",
+    "render_table",
+    "render_series",
+    "render_cop_bars",
+]

@@ -1,0 +1,140 @@
+"""Thermal comfort: Fanger's PMV/PPD model (ISO 7730).
+
+The paper's goal is "thermal comfort (cooling or heating), air dryness
+(dehumidification), and good air quality (ventilation)" (§I).  Its
+evaluation reports raw temperature/dew-point trajectories; this module
+adds the standard comfort metric those targets serve: the Predicted
+Mean Vote (PMV, the -3 cold .. +3 hot comfort scale) and the Predicted
+Percentage Dissatisfied (PPD), so examples can report comfort the way a
+building-services engineer would.
+
+The implementation follows the ISO 7730 iterative clothing-surface
+balance.  A radiant-cooled room is a showcase for PMV: chilled ceiling
+panels lower the *mean radiant temperature*, so occupants are
+comfortable at a higher air temperature — part of the low-exergy story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.physics.psychrometrics import vapor_pressure
+
+
+@dataclass(frozen=True)
+class ComfortInputs:
+    """Environmental and personal parameters of the PMV model."""
+
+    air_temp_c: float
+    mean_radiant_temp_c: float
+    rh_percent: float
+    air_velocity_ms: float = 0.1
+    metabolic_rate_met: float = 1.1   # seated office work
+    clothing_clo: float = 0.5         # tropical office clothing
+
+    def __post_init__(self) -> None:
+        if not (10.0 <= self.air_temp_c <= 40.0):
+            raise ValueError(f"air temperature {self.air_temp_c} out of "
+                             "the PMV model's validity range")
+        if not (0.0 < self.rh_percent <= 100.0):
+            raise ValueError("relative humidity out of range")
+        if self.air_velocity_ms < 0:
+            raise ValueError("air velocity cannot be negative")
+        if self.metabolic_rate_met <= 0 or self.clothing_clo < 0:
+            raise ValueError("metabolic rate / clothing out of range")
+
+
+def predicted_mean_vote(inputs: ComfortInputs) -> float:
+    """Fanger PMV on the -3 (cold) .. +3 (hot) scale.
+
+    >>> pmv = predicted_mean_vote(ComfortInputs(25.0, 23.0, 60.0))
+    >>> -1.0 < pmv < 1.0
+    True
+    """
+    ta = inputs.air_temp_c
+    tr = inputs.mean_radiant_temp_c
+    vel = max(inputs.air_velocity_ms, 0.0001)
+    rh = inputs.rh_percent
+    met = inputs.metabolic_rate_met
+    clo = inputs.clothing_clo
+
+    pa = vapor_pressure(ta, rh)           # water vapour pressure, Pa
+    icl = 0.155 * clo                     # clothing insulation, m2K/W
+    m = met * 58.15                       # metabolic rate, W/m2
+    w = 0.0                               # external work
+    mw = m - w
+
+    fcl = (1.05 + 0.645 * icl) if icl > 0.078 else (1.0 + 1.29 * icl)
+    hcf = 12.1 * math.sqrt(vel)
+    taa = ta + 273.0
+    tra = tr + 273.0
+
+    # Iterate the clothing surface temperature balance.
+    tcla = taa + (35.5 - ta) / (3.5 * icl + 0.1)
+    p1 = icl * fcl
+    p2 = p1 * 3.96
+    p3 = p1 * 100.0
+    p4 = p1 * taa
+    p5 = 308.7 - 0.028 * mw + p2 * (tra / 100.0) ** 4
+    xn = tcla / 100.0
+    xf = tcla / 50.0
+    hc = hcf
+    for _ in range(150):
+        xf = (xf + xn) / 2.0
+        hcn = 2.38 * abs(100.0 * xf - taa) ** 0.25
+        hc = max(hcf, hcn)
+        xn = (p5 + p4 * hc - p2 * xf ** 4) / (100.0 + p3 * hc)
+        if abs(xn - xf) < 1.5e-5:
+            break
+    else:
+        raise ArithmeticError("PMV clothing-balance failed to converge")
+    tcl = 100.0 * xn - 273.0
+
+    # Heat loss components (W/m2).
+    hl1 = 3.05e-3 * (5733.0 - 6.99 * mw - pa)     # skin diffusion
+    hl2 = 0.42 * (mw - 58.15) if mw > 58.15 else 0.0  # sweating
+    hl3 = 1.7e-5 * m * (5867.0 - pa)              # latent respiration
+    hl4 = 0.0014 * m * (34.0 - ta)                # dry respiration
+    hl5 = 3.96 * fcl * (xn ** 4 - (tra / 100.0) ** 4)  # radiation
+    hl6 = fcl * hc * (tcl - ta)                   # convection
+
+    ts = 0.303 * math.exp(-0.036 * m) + 0.028
+    return ts * (mw - hl1 - hl2 - hl3 - hl4 - hl5 - hl6)
+
+
+def predicted_percentage_dissatisfied(pmv: float) -> float:
+    """PPD (%): the ISO 7730 mapping from PMV.
+
+    >>> round(predicted_percentage_dissatisfied(0.0), 1)
+    5.0
+    """
+    return 100.0 - 95.0 * math.exp(-0.03353 * pmv ** 4 - 0.2179 * pmv ** 2)
+
+
+def comfort_report(air_temp_c: float, dew_point_c: float,
+                   panel_surface_c: float,
+                   panel_area_fraction: float = 0.35,
+                   **personal) -> dict:
+    """Comfort summary for a radiant-cooled subspace.
+
+    The mean radiant temperature is the area-weighted mix of the cool
+    ceiling panels and the remaining (air-temperature) surfaces — the
+    mechanism by which radiant cooling buys comfort without cold air.
+    """
+    from repro.physics.psychrometrics import relative_humidity_from_dew_point
+    if not (0.0 <= panel_area_fraction <= 1.0):
+        raise ValueError("panel area fraction must be within [0, 1]")
+    mrt = (panel_area_fraction * panel_surface_c
+           + (1.0 - panel_area_fraction) * air_temp_c)
+    rh = relative_humidity_from_dew_point(air_temp_c,
+                                          min(dew_point_c, air_temp_c))
+    pmv = predicted_mean_vote(ComfortInputs(
+        air_temp_c=air_temp_c, mean_radiant_temp_c=mrt,
+        rh_percent=rh, **personal))
+    return {
+        "pmv": pmv,
+        "ppd_percent": predicted_percentage_dissatisfied(pmv),
+        "mean_radiant_temp_c": mrt,
+        "rh_percent": rh,
+    }

@@ -1,0 +1,58 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    rendered_rows: List[List[str]] = [[_fmt(cell) for cell in row]
+                                      for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, points: Sequence[Tuple[float, float]],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 24) -> str:
+    """Compact textual rendering of a figure's (x, y) series."""
+    if not points:
+        return f"{title}\n  (empty series)"
+    step = max(1, len(points) // max_points)
+    sampled = list(points)[::step]
+    if sampled[-1] != points[-1]:
+        sampled.append(points[-1])
+    rows = [(x, y) for x, y in sampled]
+    return render_table(title, [x_label, y_label], rows)
+
+
+def render_cop_bars(cops: Dict[str, float]) -> str:
+    """The Fig. 11 bar chart as text, with a proportional bar."""
+    lines = ["Energy efficiency (COP) — paper Fig. 11"]
+    scale = 10.0  # characters per COP unit
+    for name, value in cops.items():
+        bar = "#" * int(round(value * scale))
+        lines.append(f"  {name:<12} {value:5.2f}  {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

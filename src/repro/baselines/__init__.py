@@ -1,0 +1,13 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.aircon` — the conventional all-air HVAC system
+  ("AirCon", COP ~ 2.8) that uses a single 8 degC air loop for cooling,
+  dehumidification and ventilation together.
+* The *Fixed* transmission baseline (T_snd = T_spl) is built into
+  :class:`repro.devices.btnode.BtSensorNode` via
+  ``TransmissionMode.FIXED``.
+"""
+
+from repro.baselines.aircon import AirConBaseline, AirConResult
+
+__all__ = ["AirConBaseline", "AirConResult"]

@@ -1,0 +1,43 @@
+"""Control logic of BubbleZERO (paper §III).
+
+``pid``           — the PID regulator both modules rely on.
+``condensation``  — dew-point targets and the condensation guard.
+``radiant``       — radiant cooling module control (T_mix / F_mix).
+``ventilation``   — distributed ventilation control (dew point / F_vent).
+``supervisor``    — occupant preferences and shared targets.
+"""
+
+from repro.control.pid import PIDController, PIDGains
+from repro.control.condensation import (
+    CondensationGuard,
+    mix_temperature_target,
+    room_dew_target,
+    supply_dew_target,
+)
+from repro.control.heating import HeatingInputs, RadiantHeatingController
+from repro.control.radiant import RadiantCoolingController
+from repro.control.ventilation import (
+    VentilationController,
+    air_volume_for_co2,
+    air_volume_for_humidity,
+)
+from repro.control.setback import OccupancySetback
+from repro.control.supervisor import OccupantPreferences, Supervisor
+
+__all__ = [
+    "PIDController",
+    "PIDGains",
+    "CondensationGuard",
+    "mix_temperature_target",
+    "room_dew_target",
+    "supply_dew_target",
+    "HeatingInputs",
+    "RadiantHeatingController",
+    "RadiantCoolingController",
+    "VentilationController",
+    "air_volume_for_co2",
+    "air_volume_for_humidity",
+    "OccupancySetback",
+    "OccupantPreferences",
+    "Supervisor",
+]

@@ -1,0 +1,99 @@
+"""Dew-point targets and the condensation guard.
+
+These are the coordination rules that make the decomposed modules safe
+to run side by side (paper §III-B and §III-C):
+
+* the radiant module's mixed-water target  T_mix^t = max{T_supp, T_dew^c}
+  keeps the ceiling panels above the ceiling-air dew point;
+* the room dew-point target  T_dew^{r,t} = min{T_dew^p, T_supp}  makes
+  the ventilation module dry the air far enough that the 18 degC supply
+  water itself can never condense;
+* the supply-air dew target  T_dew^{a,t}  is 2 K below the room target
+  while pulling down, equal to it while holding.
+"""
+
+from __future__ import annotations
+
+from repro.physics.psychrometrics import dew_point
+
+# Overshoot used while pulling the room dew point down (paper §III-C).
+PULLDOWN_MARGIN_K = 2.0
+
+# Surplus below which the controller holds rather than pulls down; keeps
+# sensor noise around the equilibrium from re-triggering deep targets.
+PULLDOWN_TRIGGER_K = 0.3
+
+# In hold mode the supply air still aims slightly below the room target
+# so the equilibrium room dew point sits safely under it; without this
+# margin the room regulates exactly onto the demand trigger boundary and
+# sensor noise duty-cycles the fans at full blast.
+HOLD_MARGIN_K = 1.2
+
+
+def mix_temperature_target(supply_temp_c: float,
+                           ceiling_dew_point_c: float) -> float:
+    """Radiant module's mixed-water temperature target.
+
+    T_mix^t = max{T_supp, T_dew^c}: supply the coldest water available
+    that still cannot condense on the panel surface (paper §III-B).
+    """
+    return max(supply_temp_c, ceiling_dew_point_c)
+
+
+def room_dew_target(preferred_dew_c: float, supply_temp_c: float) -> float:
+    """Room air dew-point target T_dew^{r,t} = min{T_dew^p, T_supp}.
+
+    Drier than the occupant asked for if needed, so that the radiant
+    loop's supply water temperature sits above the room dew point
+    (paper §III-C).
+    """
+    return min(preferred_dew_c, supply_temp_c)
+
+
+def supply_dew_target(room_target_dew_c: float,
+                      room_current_dew_c: float) -> float:
+    """Airbox output-air dew-point target T_dew^{a,t} (paper §III-C).
+
+    * Room clearly wetter than target -> aim PULLDOWN_MARGIN_K below the
+      target to pull the room down quickly.
+    * Room at or near the target -> aim exactly at the target to hold
+      (the PULLDOWN_TRIGGER_K band keeps measurement noise around the
+      equilibrium from re-triggering deep pulldown targets).
+    """
+    if room_current_dew_c - room_target_dew_c > PULLDOWN_TRIGGER_K:
+        return room_target_dew_c - PULLDOWN_MARGIN_K
+    return room_target_dew_c - HOLD_MARGIN_K
+
+
+class CondensationGuard:
+    """Runtime monitor asserting the condensation constraint.
+
+    The guard watches every panel-surface / ceiling-air pairing and
+    counts violations; the deployment's equivalent is water dripping on
+    the floor, so integration tests require the count to stay at zero.
+    """
+
+    def __init__(self, margin_k: float = 0.0) -> None:
+        self.margin_k = margin_k
+        self.violations = 0
+        self.worst_margin_k = float("inf")
+
+    def check(self, surface_temp_c: float, air_temp_c: float,
+              air_rh_percent: float) -> bool:
+        """Record one observation; returns True when safe."""
+        local_dew = dew_point(air_temp_c, air_rh_percent)
+        margin = surface_temp_c - local_dew
+        self.worst_margin_k = min(self.worst_margin_k, margin)
+        if margin < self.margin_k:
+            self.violations += 1
+            return False
+        return True
+
+    def check_dew(self, surface_temp_c: float, dew_point_c: float) -> bool:
+        """Variant taking a precomputed dew point."""
+        margin = surface_temp_c - dew_point_c
+        self.worst_margin_k = min(self.worst_margin_k, margin)
+        if margin < self.margin_k:
+            self.violations += 1
+            return False
+        return True

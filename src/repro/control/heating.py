@@ -1,0 +1,87 @@
+"""Radiant heating controller: the cooling module's winter twin.
+
+Runs the same ceiling panels with warm water.  Heating has no
+condensation constraint; the analogue is a *surface-temperature cap*:
+radiant ceilings above ~31 degC cause discomfort (radiant asymmetry),
+so the mixed-water target is min{T_supp, surface cap + margin} and the
+PID drives flow from the heating deficit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.pid import PIDController, PIDGains
+from repro.hydronics.mixing import MixingJunction
+from repro.hydronics.pump import PumpCurve
+
+# Ceiling-panel comfort cap (ISO 7730 radiant asymmetry guidance).
+CEILING_SURFACE_CAP_C = 31.0
+
+
+@dataclass(frozen=True)
+class HeatingInputs:
+    """Sensor values one control step consumes."""
+
+    room_temp_c: float
+    supply_temp_c: float      # warm tank temperature
+    return_temp_c: float      # panel return
+
+
+@dataclass(frozen=True)
+class HeatingCommand:
+    """Actuation produced by one control step."""
+
+    supply_voltage: float
+    recycle_voltage: float
+    mix_temp_target_c: float
+    mix_flow_target_lps: float
+
+
+class RadiantHeatingController:
+    """Per-panel heating controller (flow from the heating deficit)."""
+
+    def __init__(self, name: str, preferred_temp_c: float = 21.0,
+                 gains: PIDGains = PIDGains(kp=0.05, ki=0.0008, kd=0.02),
+                 max_flow_lps: float = 0.20,
+                 pump_curve: PumpCurve = PumpCurve(),
+                 surface_cap_c: float = CEILING_SURFACE_CAP_C) -> None:
+        self.name = name
+        self.preferred_temp_c = preferred_temp_c
+        self.max_flow_lps = max_flow_lps
+        self.pump_curve = pump_curve
+        self.surface_cap_c = surface_cap_c
+        # PID on (room - preferred): a cold room gives a positive error
+        # (see PIDController's derivative-on-measurement docs).
+        self._pid = PIDController(gains, output_limits=(0.0, max_flow_lps),
+                                  setpoint=0.0)
+
+    @property
+    def pid(self) -> PIDController:
+        return self._pid
+
+    def set_preferred_temp(self, temp_c: float) -> None:
+        self.preferred_temp_c = temp_c
+
+    def step(self, inputs: HeatingInputs, dt: float) -> HeatingCommand:
+        # Warmest water we may send: the tank supply, capped so the
+        # panel surface stays below the comfort limit.
+        mix_temp = min(inputs.supply_temp_c, self.surface_cap_c)
+
+        # If the loop water is somehow warmer than the cap, hold off.
+        if mix_temp <= inputs.room_temp_c:
+            self._pid.reset()
+            return HeatingCommand(0.0, 0.0, mix_temp, 0.0)
+
+        delta = inputs.room_temp_c - self.preferred_temp_c
+        flow_target = self._pid.update(delta, dt)
+
+        supply_flow, recycle_flow = MixingJunction.flows_for_target(
+            flow_target, mix_temp,
+            inputs.supply_temp_c, inputs.return_temp_c)
+        return HeatingCommand(
+            supply_voltage=self.pump_curve.voltage_for(supply_flow),
+            recycle_voltage=self.pump_curve.voltage_for(recycle_flow),
+            mix_temp_target_c=mix_temp,
+            mix_flow_target_lps=flow_target,
+        )

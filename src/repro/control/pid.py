@@ -1,0 +1,102 @@
+"""Proportional-Integral-Derivative controller.
+
+Both BubbleZERO modules close their loops with PID (paper §III-B: "To
+achieve a rapid and robust control of F_mix, we adopt the
+Proportional-Integral-Derivative (PID) algorithm"; §III-C uses "a
+similar PID controller" for the coil water flow).  This implementation
+is the embedded-style discrete form: explicit sample time, derivative on
+the *measurement* (so setpoint steps don't kick the output), output
+clamping, and conditional-integration anti-windup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PIDGains:
+    """Controller gains; kp in output-units per error-unit."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ValueError("PID gains must be non-negative")
+
+
+class PIDController:
+    """Discrete PID with clamping and anti-windup.
+
+    Parameters
+    ----------
+    gains: the three gains.
+    output_limits: (low, high) clamp on the output.
+    setpoint: initial target value.
+    """
+
+    def __init__(self, gains: PIDGains,
+                 output_limits: Tuple[float, float] = (0.0, 1.0),
+                 setpoint: float = 0.0) -> None:
+        low, high = output_limits
+        if low >= high:
+            raise ValueError(f"invalid output limits: ({low}, {high})")
+        self.gains = gains
+        self.output_limits = (float(low), float(high))
+        self.setpoint = float(setpoint)
+        self._integral = 0.0
+        self._last_measurement: Optional[float] = None
+        self._last_output = float(low)
+
+    @property
+    def last_output(self) -> float:
+        return self._last_output
+
+    def reset(self) -> None:
+        """Clear integral state and derivative history."""
+        self._integral = 0.0
+        self._last_measurement = None
+
+    def update(self, measurement: float, dt: float) -> float:
+        """Advance the controller one sample of length ``dt`` seconds.
+
+        Returns the clamped control output.  Anti-windup is conditional
+        integration: the integral only accumulates when it would move
+        the output back inside the limits.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        low, high = self.output_limits
+        error = self.setpoint - measurement
+
+        proportional = self.gains.kp * error
+
+        derivative = 0.0
+        if self._last_measurement is not None and self.gains.kd > 0:
+            # Derivative on measurement, sign-flipped (d(error)/dt with a
+            # constant setpoint equals -d(measurement)/dt).
+            derivative = -self.gains.kd * (
+                (measurement - self._last_measurement) / dt)
+        self._last_measurement = measurement
+
+        candidate_integral = self._integral + self.gains.ki * error * dt
+        unclamped = proportional + candidate_integral + derivative
+        if low <= unclamped <= high:
+            self._integral = candidate_integral
+            output = unclamped
+        else:
+            # Saturated: accept the integral step only if it pulls the
+            # output back toward the feasible band.
+            saturated_at = high if unclamped > high else low
+            moving_inward = ((saturated_at == high and error < 0)
+                             or (saturated_at == low and error > 0))
+            if moving_inward:
+                self._integral = candidate_integral
+            output = min(max(proportional + self._integral + derivative,
+                             low), high)
+
+        self._last_output = output
+        return output

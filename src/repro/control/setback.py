@@ -1,0 +1,102 @@
+"""Occupancy-based setback: the related-work strategy, on BubbleZERO.
+
+The paper's related work (§VI) surveys occupancy-driven HVAC control —
+the Smart Thermostat [21], aggressive duty-cycling [2], Sentinel [4] —
+and positions BubbleZERO as orthogonal: it makes the *plant* efficient,
+they make the *schedule* efficient.  This module composes the two: a
+setback supervisor that watches occupancy and relaxes the comfort
+targets while the space is empty, restoring them on (or ahead of)
+arrival.
+
+Strategy (the standard setback state machine):
+
+* occupied            -> comfort targets (e.g. 25 degC);
+* empty > grace time  -> setback targets (e.g. +2.5 K, relaxed CO2);
+* arrival             -> comfort targets immediately (the radiant loop's
+  pulldown takes ~15-30 min, so pair with a schedule-based prestart for
+  strict comfort guarantees).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.control.supervisor import OccupantPreferences, Supervisor
+from repro.sim.engine import Simulator, PRIORITY_CONTROL
+from repro.sim.process import PeriodicTask
+
+
+class OccupancySetback:
+    """Relax targets while the space is empty.
+
+    Parameters
+    ----------
+    sim, supervisor:
+        the simulation and the supervisor whose preferences to manage.
+    occupancy_source:
+        callable returning the current total occupancy (people).  In a
+        deployment this is the PIR/CO2-derived estimate; in simulation
+        it reads the plant's ground truth or a schedule.
+    comfort, setback:
+        the two preference sets to switch between.
+    grace_s:
+        how long the space must stay empty before setting back — guards
+        against toggling during brief absences.
+    """
+
+    def __init__(self, sim: Simulator, supervisor: Supervisor,
+                 occupancy_source: Callable[[], float],
+                 comfort: Optional[OccupantPreferences] = None,
+                 setback: Optional[OccupantPreferences] = None,
+                 grace_s: float = 15 * 60.0,
+                 check_period_s: float = 60.0) -> None:
+        if grace_s < 0:
+            raise ValueError("grace time cannot be negative")
+        self.sim = sim
+        self.supervisor = supervisor
+        self.occupancy_source = occupancy_source
+        self.comfort = comfort or OccupantPreferences()
+        self.setback = setback or OccupantPreferences(
+            temp_c=self.comfort.temp_c + 2.5,
+            rh_percent=self.comfort.rh_percent,
+            co2_ppm=min(self.comfort.co2_ppm + 400.0, 1500.0))
+        if self.setback.temp_c < self.comfort.temp_c:
+            raise ValueError("setback target must not be colder than "
+                             "the comfort target (this is a cooling "
+                             "system)")
+        self.grace_s = grace_s
+        self._empty_since: Optional[float] = None
+        self._in_setback = False
+        self.transitions = 0
+        self._task = PeriodicTask(sim, "setback", check_period_s,
+                                  self._check, priority=PRIORITY_CONTROL)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_setback(self) -> bool:
+        return self._in_setback
+
+    def start(self) -> None:
+        self.supervisor.apply_preferences(self.comfort)
+        self._task.start()
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    # ------------------------------------------------------------------
+    def _check(self, now: float) -> None:
+        occupied = self.occupancy_source() > 0
+        if occupied:
+            self._empty_since = None
+            if self._in_setback:
+                self._in_setback = False
+                self.transitions += 1
+                self.supervisor.apply_preferences(self.comfort)
+            return
+        if self._empty_since is None:
+            self._empty_since = now
+        if (not self._in_setback
+                and now - self._empty_since >= self.grace_s):
+            self._in_setback = True
+            self.transitions += 1
+            self.supervisor.apply_preferences(self.setback)

@@ -1,0 +1,80 @@
+"""Occupant preferences and cross-module coordination.
+
+The two modules are deliberately decoupled (that is the paper's point),
+but they share three pieces of information: the occupant's preferences
+(T_pref, H_pref), the radiant tank's supply temperature T_supp (the
+ventilation module needs it for the room dew-point target), and the
+CO2 comfort ceiling.  The :class:`Supervisor` owns those shared values
+and fans preference changes out to the per-panel and per-subspace
+controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.control.radiant import RadiantCoolingController
+from repro.control.ventilation import VentilationController
+from repro.physics.psychrometrics import dew_point
+
+
+@dataclass
+class OccupantPreferences:
+    """What the occupant dialled in on the wall panel."""
+
+    temp_c: float = 25.0
+    rh_percent: float = 65.0
+    co2_ppm: float = 800.0
+
+    def __post_init__(self) -> None:
+        if not (16.0 <= self.temp_c <= 32.0):
+            raise ValueError(
+                f"preferred temperature {self.temp_c} outside sane range")
+        if not (20.0 <= self.rh_percent <= 90.0):
+            raise ValueError(
+                f"preferred humidity {self.rh_percent} outside sane range")
+        if self.co2_ppm < 400.0:
+            raise ValueError("CO2 target cannot be below outdoor levels")
+
+    @property
+    def dew_point_c(self) -> float:
+        """T_dew^p implied by the preferences."""
+        return dew_point(self.temp_c, self.rh_percent)
+
+
+class Supervisor:
+    """Distributes shared targets to the module controllers."""
+
+    def __init__(self, preferences: OccupantPreferences = None) -> None:
+        self.preferences = preferences or OccupantPreferences()
+        self._radiant: List[RadiantCoolingController] = []
+        self._ventilation: List[VentilationController] = []
+
+    def register_radiant(self, controller: RadiantCoolingController) -> None:
+        self._radiant.append(controller)
+        controller.set_preferred_temp(self.preferences.temp_c)
+
+    def register_ventilation(self, controller: VentilationController) -> None:
+        self._ventilation.append(controller)
+        controller.set_preferences(self.preferences.temp_c,
+                                   self.preferences.rh_percent)
+        controller.co2_target_ppm = self.preferences.co2_ppm
+
+    def apply_preferences(self, preferences: OccupantPreferences) -> None:
+        """Occupant changed the targets: push them to every controller."""
+        self.preferences = preferences
+        for controller in self._radiant:
+            controller.set_preferred_temp(preferences.temp_c)
+        for controller in self._ventilation:
+            controller.set_preferences(preferences.temp_c,
+                                       preferences.rh_percent)
+            controller.co2_target_ppm = preferences.co2_ppm
+
+    @property
+    def radiant_controllers(self) -> List[RadiantCoolingController]:
+        return list(self._radiant)
+
+    @property
+    def ventilation_controllers(self) -> List[VentilationController]:
+        return list(self._ventilation)

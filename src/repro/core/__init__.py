@@ -1,0 +1,22 @@
+"""Core assembly: configuration, plant, and the BubbleZero system."""
+
+from repro.core.config import (
+    BubbleZeroConfig,
+    ComfortConfig,
+    NetworkConfig,
+    OutdoorConfig,
+)
+from repro.core.plant import Plant, PanelLoop, VentUnit, PANEL_SUBSPACES
+from repro.core.system import BubbleZero
+
+__all__ = [
+    "BubbleZeroConfig",
+    "ComfortConfig",
+    "NetworkConfig",
+    "OutdoorConfig",
+    "Plant",
+    "PanelLoop",
+    "VentUnit",
+    "PANEL_SUBSPACES",
+    "BubbleZero",
+]

@@ -1,0 +1,61 @@
+"""Configuration of a BubbleZERO run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import parse_clock
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Wireless-layer configuration."""
+
+    enabled: bool = True                 # False => wired/direct control
+    bt_mode: str = "adaptive"            # "adaptive" (BT-ADPT) or "fixed"
+    ac_schedule_adaptation: bool = True  # AC-device desynchronisation
+    loss_probability: float = 0.02
+    histogram_slots: int = 40            # the paper's default N
+    track_oracle: bool = True            # score decisions vs exact clustering
+
+    def __post_init__(self) -> None:
+        if self.bt_mode not in ("adaptive", "fixed"):
+            raise ValueError(f"unknown bt_mode: {self.bt_mode!r}")
+        if not (0 <= self.loss_probability < 1):
+            raise ValueError("loss probability must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class ComfortConfig:
+    """Occupant targets (the paper's: 25 degC, 18 degC dew point)."""
+
+    preferred_temp_c: float = 25.0
+    preferred_rh_percent: float = 65.2   # yields ~18.0 degC dew at 25 degC
+    co2_target_ppm: float = 800.0
+
+
+@dataclass(frozen=True)
+class OutdoorConfig:
+    """The paper's afternoon: 28.9 degC dry bulb, 27.4 degC dew point."""
+
+    temp_c: float = 28.9
+    dew_point_c: float = 27.4
+
+
+@dataclass(frozen=True)
+class BubbleZeroConfig:
+    """Everything a reproducible run needs."""
+
+    seed: int = 1
+    start_time_s: float = field(default_factory=lambda: parse_clock("13:00"))
+    physics_dt_s: float = 1.0
+    record_period_s: float = 10.0
+    network: NetworkConfig = NetworkConfig()
+    comfort: ComfortConfig = ComfortConfig()
+    outdoor: OutdoorConfig = OutdoorConfig()
+
+    def __post_init__(self) -> None:
+        if self.physics_dt_s <= 0:
+            raise ValueError("physics step must be positive")
+        if self.record_period_s <= 0:
+            raise ValueError("record period must be positive")

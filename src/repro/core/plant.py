@@ -1,0 +1,343 @@
+"""The physical plant: every piece of hardware, wired and integrated.
+
+``Plant`` owns the room model, the two chilled-water tanks and their
+chillers, the two radiant panel loops (supply pump + recycle pump +
+mixing junction + panel), and the four airbox/CO2flap pairs.  Its
+``step(dt)`` advances all of it one time step, given whatever actuator
+commands the control boards have applied since the last step.
+
+Topology (paper Fig. 2):
+
+* panel 0 serves subspaces 0 and 1, panel 1 serves subspaces 2 and 3;
+* airbox/flap pair ``i`` serves subspace ``i``;
+* the 18 degC tank feeds the panel loops, the 8 degC tank the coils.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.airside.airbox import Airbox, AirboxOutput
+from repro.airside.co2flap import CO2Flap
+from repro.control.condensation import CondensationGuard
+from repro.hydronics.chiller import CarnotFractionChiller
+from repro.hydronics.mixing import MixingJunction, MixResult
+from repro.hydronics.panel import PanelResult, RadiantPanel
+from repro.hydronics.pump import DCPump, PumpCurve
+from repro.hydronics.tank import ColdWaterTank
+from repro.hydronics.water import WATER_CP, mass_flow
+from repro.physics.room import Room, RoomParameters, SubspaceInputs
+from repro.physics.weather import OutdoorState, WeatherModel
+
+PANEL_SUBSPACES = ((0, 1), (2, 3))
+
+# Condenser approach: heat is rejected a few degrees above outdoor air.
+CONDENSER_APPROACH_K = 6.0
+
+
+@dataclass
+class PanelLoop:
+    """One radiant ceiling panel and its hydraulic loop."""
+
+    panel: RadiantPanel
+    supply_pump: DCPump
+    recycle_pump: DCPump
+    junction: MixingJunction = field(init=False)
+    return_temp_c: float = 22.0
+    mix_temp_c: float = 18.0
+    mix_flow_lps: float = 0.0
+    last_result: Optional[PanelResult] = None
+
+    def __post_init__(self) -> None:
+        self.junction = MixingJunction(self.supply_pump, self.recycle_pump)
+
+
+@dataclass
+class VentUnit:
+    """One subspace's airbox + CO2flap pair."""
+
+    airbox: Airbox
+    flap: CO2Flap
+    last_output: Optional[AirboxOutput] = None
+
+
+class Plant:
+    """All BubbleZERO hardware, integrated on a common time step."""
+
+    def __init__(self, weather: WeatherModel,
+                 room: Optional[Room] = None,
+                 radiant_chiller: Optional[CarnotFractionChiller] = None,
+                 vent_chiller: Optional[CarnotFractionChiller] = None) -> None:
+        self.weather = weather
+        self.room = room or Room()
+        n_sub = len(self.room.subspaces)
+        if n_sub != 4:
+            raise ValueError("the BubbleZERO plant expects 4 subspaces")
+
+        # Chillers calibrated per DESIGN.md §4.
+        self.radiant_chiller = radiant_chiller or CarnotFractionChiller(
+            "chiller-18C", cold_setpoint_c=18.0, second_law_fraction=0.30,
+            parasitic_w=6.0, capacity_w=2600.0)
+        self.vent_chiller = vent_chiller or CarnotFractionChiller(
+            "chiller-8C", cold_setpoint_c=8.0, second_law_fraction=0.30,
+            parasitic_w=2.0, capacity_w=3600.0)
+        self.radiant_tank = ColdWaterTank(
+            "tank-18C", self.radiant_chiller, volume_l=150.0, setpoint_c=18.0)
+        self.vent_tank = ColdWaterTank(
+            "tank-8C", self.vent_chiller, volume_l=100.0, setpoint_c=8.0)
+
+        self.panel_loops: List[PanelLoop] = [
+            PanelLoop(
+                panel=RadiantPanel(f"panel-{i}"),
+                supply_pump=DCPump(f"panel-{i}/supply-pump",
+                                   curve=PumpCurve(max_flow_lps=0.20)),
+                recycle_pump=DCPump(f"panel-{i}/recycle-pump",
+                                    curve=PumpCurve(max_flow_lps=0.20)))
+            for i in range(2)
+        ]
+        self.vent_units: List[VentUnit] = [
+            VentUnit(airbox=Airbox(f"airbox-{i}"), flap=CO2Flap(f"flap-{i}"))
+            for i in range(n_sub)
+        ]
+        self.guard = CondensationGuard()
+        self.occupants = [0.0] * n_sub
+        self.equipment_w = [40.0] * n_sub
+        self.door_open_fraction = 0.0
+        self.window_open_fraction = 0.0
+        self.time_integrated_s = 0.0
+        self.fan_energy_j = 0.0
+        self.flap_energy_j = 0.0
+
+    # ------------------------------------------------------------------
+    # Truth accessors for the sensor layer
+    # ------------------------------------------------------------------
+    def outdoor(self, now: float) -> OutdoorState:
+        return self.weather.state_at(now)
+
+    def supply_temp_c(self) -> float:
+        """T_supp of the radiant loop (18 degC tank)."""
+        return self.radiant_tank.temp_c
+
+    def panel_return_temp_c(self, panel_idx: int) -> float:
+        return self.panel_loops[panel_idx].return_temp_c
+
+    def panel_mix_temp_c(self, panel_idx: int) -> float:
+        return self.panel_loops[panel_idx].mix_temp_c
+
+    def panel_mix_flow_lps(self, panel_idx: int) -> float:
+        return self.panel_loops[panel_idx].mix_flow_lps
+
+    def airbox_outlet_dew_c(self, subspace: int) -> float:
+        unit = self.vent_units[subspace]
+        if unit.last_output is None or unit.last_output.flow_m3s == 0:
+            # With the fans stopped, the outlet sensor reads room air.
+            return self.room.state_of(subspace).dew_point_c
+        return unit.last_output.supply_dew_point_c
+
+    def airbox_outlet_temp_c(self, subspace: int) -> float:
+        unit = self.vent_units[subspace]
+        if unit.last_output is None or unit.last_output.flow_m3s == 0:
+            return self.room.state_of(subspace).temp_c
+        return unit.last_output.supply_temp_c
+
+    # ------------------------------------------------------------------
+    # Disturbances (workload hooks)
+    # ------------------------------------------------------------------
+    def set_door(self, fraction: float) -> None:
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("door fraction must be within [0, 1]")
+        self.door_open_fraction = fraction
+
+    def set_window(self, fraction: float) -> None:
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("window fraction must be within [0, 1]")
+        self.window_open_fraction = fraction
+
+    def set_occupants(self, subspace: int, count: float) -> None:
+        if count < 0:
+            raise ValueError("occupant count cannot be negative")
+        self.occupants[subspace] = count
+
+    # ------------------------------------------------------------------
+    # Integration
+    # ------------------------------------------------------------------
+    def step(self, now: float, dt: float) -> None:
+        """Advance the whole plant by ``dt`` seconds."""
+        outdoor = self.outdoor(now)
+        reject_temp = outdoor.temp_c + CONDENSER_APPROACH_K
+        panel_heat = [0.0] * len(self.room.subspaces)
+
+        # --- radiant panel loops ---------------------------------------
+        for idx, loop in enumerate(self.panel_loops):
+            served = PANEL_SUBSPACES[idx]
+            zone_temp = sum(self.room.state_of(s).temp_c
+                            for s in served) / len(served)
+            mix: MixResult = loop.junction.mix(
+                self.radiant_tank.draw(), loop.return_temp_c)
+            result = loop.panel.exchange(mix.flow_lps, mix.temp_c, zone_temp)
+            loop.panel.integrate(result, dt)
+            loop.last_result = result
+            loop.mix_temp_c = mix.temp_c
+            loop.mix_flow_lps = mix.flow_lps
+            if mix.flow_lps > 0:
+                loop.return_temp_c = result.return_temp_c
+            else:
+                # Stagnant loop water slowly equilibrates with the room,
+                # which is what eventually releases the start-up
+                # condensation interlock.
+                loop.return_temp_c += ((zone_temp - loop.return_temp_c)
+                                       * dt / 600.0)
+            # Water drawn from the tank returns at panel-outlet temperature.
+            self.radiant_tank.accept_return(
+                mix.supply_flow_lps, result.return_temp_c, dt)
+            for s in served:
+                panel_heat[s] += result.heat_w / len(served)
+            # Condensation guard: panel surface vs local air dew point.
+            if mix.flow_lps > 0:
+                local_dew = max(self.room.state_of(s).dew_point_c
+                                for s in served)
+                if not self.guard.check_dew(result.surface_temp_c, local_dew):
+                    self.room.record_condensation()
+            loop.supply_pump.integrate(dt)
+            loop.recycle_pump.integrate(dt)
+
+        # --- ventilation units ------------------------------------------
+        inputs: List[SubspaceInputs] = []
+        for i, unit in enumerate(self.vent_units):
+            # The coil sees whatever the 8 degC tank actually holds; an
+            # overloaded tank degrades dehumidification realistically.
+            unit.airbox.coil.water_temp_c = self.vent_tank.temp_c
+            output = unit.airbox.process(outdoor, dt)
+            unit.last_output = output
+            unit.flap.step(dt)
+            # Supply air only flows freely once the exhaust flap opens;
+            # a closed flap throttles the loop to envelope leakage.
+            effective_flow = output.flow_m3s * (0.25
+                                                + 0.75 * unit.flap.position)
+            # Coil load returns warm water to the 8 degC tank.
+            if output.coil_water_flow_lps > 0 and output.coil_heat_w > 0:
+                m_cp = mass_flow(output.coil_water_flow_lps) * WATER_CP
+                coil_return = (self.vent_tank.draw()
+                               + output.coil_heat_w / m_cp)
+                self.vent_tank.accept_return(
+                    output.coil_water_flow_lps, coil_return, dt)
+            opening = (self.door_open_fraction * _door_weight(i)
+                       + 0.8 * self.window_open_fraction * _window_weight(i))
+            inputs.append(SubspaceInputs(
+                panel_heat_w=panel_heat[i],
+                vent_flow_m3s=effective_flow,
+                vent_supply_temp_c=output.supply_temp_c,
+                vent_supply_w=output.supply_humidity_ratio,
+                occupants=self.occupants[i],
+                equipment_w=self.equipment_w[i],
+                door_open_fraction=opening,
+            ))
+            self.fan_energy_j += output.fan_power_w * dt
+
+        # --- room and tanks ----------------------------------------------
+        self.room.step(dt, outdoor, inputs)
+        self.radiant_tank.step(dt, ambient_temp_c=self.room.mean_temp_c(),
+                               reject_temp_c=reject_temp)
+        self.vent_tank.step(dt, ambient_temp_c=self.room.mean_temp_c(),
+                            reject_temp_c=reject_temp)
+        self.time_integrated_s += dt
+
+    # ------------------------------------------------------------------
+    # Energy / COP accounting (paper §V-B)
+    # ------------------------------------------------------------------
+    def radiant_heat_removed_j(self) -> float:
+        return sum(loop.panel.heat_absorbed_j for loop in self.panel_loops)
+
+    def vent_heat_removed_j(self) -> float:
+        return sum(unit.airbox.coil.heat_extracted_j
+                   for unit in self.vent_units)
+
+    def radiant_power_consumed_j(self) -> float:
+        pumps = sum(loop.supply_pump.energy_j + loop.recycle_pump.energy_j
+                    for loop in self.panel_loops)
+        return self.radiant_chiller.energy_j + pumps
+
+    def vent_power_consumed_j(self) -> float:
+        coil_pumps = sum(unit.airbox.coil_pump.energy_j
+                         for unit in self.vent_units)
+        flaps = sum(unit.flap.energy_j for unit in self.vent_units)
+        return (self.vent_chiller.energy_j + coil_pumps
+                + self.fan_energy_j + flaps)
+
+    def meter_snapshot(self) -> Dict[str, float]:
+        """Cumulative energy meters at this instant.
+
+        Snapshot before and after a steady-state window and difference
+        the two to meter rates over that window — exactly how the paper
+        reads its power meters for Fig. 11 (steady operation, not the
+        cold-start transient).
+        """
+        return {
+            "time_s": self.time_integrated_s,
+            "radiant_heat_j": self.radiant_heat_removed_j(),
+            "vent_heat_j": self.vent_heat_removed_j(),
+            "radiant_power_j": self.radiant_power_consumed_j(),
+            "vent_power_j": self.vent_power_consumed_j(),
+        }
+
+    @staticmethod
+    def cop_between(before: Dict[str, float],
+                    after: Dict[str, float]) -> Dict[str, float]:
+        """Per-module and overall COP over a metering window."""
+        elapsed = after["time_s"] - before["time_s"]
+        if elapsed <= 0:
+            raise ValueError("metering window must have positive length")
+        qr = after["radiant_heat_j"] - before["radiant_heat_j"]
+        qv = after["vent_heat_j"] - before["vent_heat_j"]
+        pr = after["radiant_power_j"] - before["radiant_power_j"]
+        pv = after["vent_power_j"] - before["vent_power_j"]
+        report: Dict[str, float] = {
+            "radiant_heat_w": qr / elapsed,
+            "vent_heat_w": qv / elapsed,
+            "radiant_power_w": pr / elapsed,
+            "vent_power_w": pv / elapsed,
+        }
+        if pr > 0:
+            report["bubble_c"] = qr / pr
+        if pv > 0:
+            report["bubble_v"] = qv / pv
+        if pr + pv > 0:
+            report["bubble_zero"] = (qr + qv) / (pr + pv)
+        return report
+
+    def cop_report(self) -> Dict[str, float]:
+        """Lifetime COP of each module and the whole system.
+
+        Includes the cold-start transient; for the paper's Fig. 11
+        numbers use :meth:`meter_snapshot` + :meth:`cop_between` over a
+        steady-state window instead.
+        """
+        qr = self.radiant_heat_removed_j()
+        qv = self.vent_heat_removed_j()
+        pr = self.radiant_power_consumed_j()
+        pv = self.vent_power_consumed_j()
+        report = {}
+        if pr > 0:
+            report["bubble_c"] = qr / pr
+        if pv > 0:
+            report["bubble_v"] = qv / pv
+        if pr + pv > 0:
+            report["bubble_zero"] = (qr + qv) / (pr + pv)
+        return report
+
+
+def _door_weight(subspace: int) -> float:
+    """Share of a door opening felt by each subspace (paper §V-A).
+
+    Weights sum to one, so the total exchange equals the door path's
+    rated flow; the door-side subspaces take most of it.
+    """
+    from repro.physics.room import DOOR_WEIGHTS
+    return DOOR_WEIGHTS[subspace]
+
+
+def _window_weight(subspace: int) -> float:
+    """Share of a window opening felt by each subspace (back facade)."""
+    from repro.physics.room import WINDOW_WEIGHTS
+    return WINDOW_WEIGHTS[subspace]

@@ -1,0 +1,351 @@
+"""The assembled BubbleZERO system — the library's main entry point.
+
+``BubbleZero`` wires together the simulator, the physical plant, the
+wireless network, the sensor fleet and the control boards, schedules
+workload events, and runs the experiment.  It is the simulation
+counterpart of the whole laboratory.
+
+Typical use::
+
+    from repro import BubbleZero, BubbleZeroConfig
+
+    system = BubbleZero(BubbleZeroConfig(seed=7))
+    system.start()
+    system.run(hours=1.75)
+    print(system.plant.cop_report())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.control.radiant import RadiantInputs
+from repro.control.ventilation import VentilationInputs
+from repro.core.config import BubbleZeroConfig
+from repro.core.plant import PANEL_SUBSPACES, Plant
+from repro.devices.boards import (
+    Board,
+    ControlC1,
+    ControlC2,
+    ControlV1,
+    ControlV2,
+    ControlV3,
+    CONTROL_PERIOD_S,
+)
+from repro.devices.btnode import BtSensorNode, TransmissionMode
+from repro.devices.sensors import SensorModel
+from repro.net.adaptive import AdaptivePolicy
+from repro.net.medium import BroadcastMedium, Sniffer
+from repro.net.packet import DataType
+from repro.physics.weather import ConstantWeather, WeatherModel
+from repro.sim.engine import (
+    Simulator,
+    PRIORITY_CONTROL,
+    PRIORITY_MONITOR,
+    PRIORITY_PHYSICS,
+)
+from repro.sim.process import PeriodicTask
+from repro.workloads.events import (
+    DoorEvent,
+    EventScript,
+    OccupancyChange,
+    WindowEvent,
+)
+
+
+class BubbleZero:
+    """The full distributed HVAC system."""
+
+    def __init__(self, config: Optional[BubbleZeroConfig] = None,
+                 weather: Optional[WeatherModel] = None) -> None:
+        self.config = config or BubbleZeroConfig()
+        self.sim = Simulator(seed=self.config.seed,
+                             start_time=self.config.start_time_s)
+        self.weather = weather or ConstantWeather(
+            self.config.outdoor.temp_c, self.config.outdoor.dew_point_c)
+        self.plant = Plant(self.weather)
+        self.bt_nodes: List[BtSensorNode] = []
+        self.boards: List[Board] = []
+        self.medium: Optional[BroadcastMedium] = None
+        self.sniffer: Optional[Sniffer] = None
+        self._direct_loop: Optional[PeriodicTask] = None
+        if self.config.network.enabled:
+            self._build_network_stack()
+        else:
+            self._build_direct_stack()
+        self._physics_task = PeriodicTask(
+            self.sim, "physics", self.config.physics_dt_s, self._physics_step,
+            priority=PRIORITY_PHYSICS, phase=self.config.physics_dt_s)
+        self._recorder_task = PeriodicTask(
+            self.sim, "recorder", self.config.record_period_s, self._record,
+            priority=PRIORITY_MONITOR, phase=0.0)
+        self._started = False
+        self.supervisor = self._build_supervisor()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_network_stack(self) -> None:
+        net = self.config.network
+        self.medium = BroadcastMedium(
+            self.sim, loss_probability=net.loss_probability)
+        self.sniffer = Sniffer()
+        self.medium.attach_sniffer(self.sniffer)
+
+        mode = (TransmissionMode.ADAPTIVE if net.bt_mode == "adaptive"
+                else TransmissionMode.FIXED)
+        rng = self.sim.rng
+        room = self.plant.room
+
+        def make_node(device_id: str, data_type: DataType, key,
+                      measure, noise: float, quantum: float) -> BtSensorNode:
+            sensor = SensorModel(device_id, measure, rng, noise_std=noise,
+                                 offset_std=noise, quantum=quantum)
+            policy = AdaptivePolicy.for_type(
+                data_type, histogram_slots=net.histogram_slots)
+            node = BtSensorNode(self.sim, self.medium, device_id, data_type,
+                                key, sensor, mode=mode, policy=policy,
+                                track_oracle=net.track_oracle)
+            self.bt_nodes.append(node)
+            return node
+
+        for i in range(4):
+            make_node(f"bt-room-temp-{i}", DataType.TEMPERATURE, ("room", i),
+                      lambda i=i: room.state_of(i).temp_c, 0.012, 0.01)
+            make_node(f"bt-room-hum-{i}", DataType.HUMIDITY, ("room", i),
+                      lambda i=i: room.state_of(i).relative_humidity(),
+                      0.3, 0.05)
+            make_node(f"bt-ceil-temp-{i}", DataType.TEMPERATURE,
+                      ("ceiling", i),
+                      lambda i=i: room.state_of(i).temp_c - 0.2, 0.012, 0.01)
+            make_node(f"bt-ceil-hum-{i}", DataType.HUMIDITY, ("ceiling", i),
+                      lambda i=i: room.state_of(i).relative_humidity(),
+                      0.3, 0.05)
+
+        comfort = self.config.comfort
+        adapter = net.ac_schedule_adaptation
+        self.boards = [
+            ControlC1(self.sim, self.medium, self.plant,
+                      use_schedule_adapter=adapter),
+            ControlC2(self.sim, self.medium, self.plant,
+                      preferred_temp_c=comfort.preferred_temp_c,
+                      use_schedule_adapter=adapter),
+            ControlV1(self.sim, self.medium, self.plant,
+                      preferred_temp_c=comfort.preferred_temp_c,
+                      preferred_rh_percent=comfort.preferred_rh_percent,
+                      use_schedule_adapter=adapter),
+        ]
+        for i in range(4):
+            self.boards.append(ControlV2(
+                self.sim, self.medium, self.plant, i,
+                preferred_temp_c=comfort.preferred_temp_c,
+                preferred_rh_percent=comfort.preferred_rh_percent,
+                use_schedule_adapter=adapter))
+            self.boards.append(ControlV3(
+                self.sim, self.medium, self.plant, i,
+                use_schedule_adapter=adapter))
+
+    def _build_direct_stack(self) -> None:
+        """Wired baseline: controllers read the plant truth directly."""
+        from repro.control.radiant import RadiantCoolingController
+        from repro.control.ventilation import VentilationController
+
+        comfort = self.config.comfort
+        volume = self.plant.room.geometry.subspace_volume_m3
+        self._radiant_direct = [
+            RadiantCoolingController(
+                f"direct-radiant-{p}",
+                preferred_temp_c=comfort.preferred_temp_c,
+                pump_curve=self.plant.panel_loops[p].supply_pump.curve)
+            for p in range(2)
+        ]
+        self._vent_direct = [
+            VentilationController(
+                f"direct-vent-{i}", subspace_volume_m3=volume,
+                preferred_temp_c=comfort.preferred_temp_c,
+                preferred_rh_percent=comfort.preferred_rh_percent,
+                coil_pump_curve=(
+                    self.plant.vent_units[i].airbox.coil_pump.curve))
+            for i in range(4)
+        ]
+        self._direct_loop = PeriodicTask(
+            self.sim, "direct-control", CONTROL_PERIOD_S, self._direct_step,
+            priority=PRIORITY_CONTROL)
+
+    def _direct_step(self, now: float) -> None:
+        plant = self.plant
+        room = plant.room
+        room_temp = room.mean_temp_c()
+        supply = plant.supply_temp_c()
+        for p, controller in enumerate(self._radiant_direct):
+            served = PANEL_SUBSPACES[p]
+            ceiling_dew = max(room.state_of(s).dew_point_c for s in served)
+            command = controller.step(RadiantInputs(
+                room_temp_c=room_temp,
+                ceiling_dew_point_c=ceiling_dew,
+                supply_temp_c=supply,
+                return_temp_c=plant.panel_return_temp_c(p),
+            ), CONTROL_PERIOD_S)
+            loop = plant.panel_loops[p]
+            loop.supply_pump.set_voltage(command.supply_voltage)
+            loop.recycle_pump.set_voltage(command.recycle_voltage)
+        for i, controller in enumerate(self._vent_direct):
+            state = room.state_of(i)
+            command = controller.step(VentilationInputs(
+                room_temp_c=state.temp_c,
+                room_dew_point_c=state.dew_point_c,
+                room_co2_ppm=state.co2_ppm,
+                supply_water_temp_c=supply,
+                airbox_out_dew_point_c=plant.airbox_outlet_dew_c(i),
+            ), CONTROL_PERIOD_S)
+            unit = plant.vent_units[i]
+            unit.airbox.set_coil_pump_voltage(command.coil_pump_voltage)
+            unit.airbox.set_fan_flow_demand(command.fan_flow_demand_m3s)
+            unit.flap.command(command.flap_open)
+
+    def _build_supervisor(self):
+        """Register every controller with a shared supervisor, so
+        occupant preference changes (and strategies like occupancy
+        setback) reach all of them at once."""
+        from repro.control.supervisor import OccupantPreferences, Supervisor
+        comfort = self.config.comfort
+        supervisor = Supervisor(OccupantPreferences(
+            temp_c=comfort.preferred_temp_c,
+            rh_percent=comfort.preferred_rh_percent,
+            co2_ppm=comfort.co2_target_ppm))
+        from repro.devices.boards import ControlC2, ControlV1, ControlV2
+        for board in self.boards:
+            if isinstance(board, ControlC2):
+                for controller in board.controllers:
+                    supervisor.register_radiant(controller)
+            elif isinstance(board, ControlV1):
+                for controller in board.controllers:
+                    supervisor.register_ventilation(controller)
+            elif isinstance(board, ControlV2):
+                supervisor.register_ventilation(board.controller)
+        if self._direct_loop is not None:
+            for controller in self._radiant_direct:
+                supervisor.register_radiant(controller)
+            for controller in self._vent_direct:
+                supervisor.register_ventilation(controller)
+        return supervisor
+
+    def total_occupancy(self) -> float:
+        """Current total headcount (ground truth for setback studies)."""
+        return sum(self.plant.occupants)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot the system: physics, sensors, boards, recording."""
+        if self._started:
+            return
+        self._started = True
+        self._physics_task.start()
+        self._recorder_task.start()
+        for node in self.bt_nodes:
+            node.start()
+        for board in self.boards:
+            board.start()
+        if self._direct_loop is not None:
+            self._direct_loop.start()
+
+    def run(self, seconds: Optional[float] = None,
+            minutes: Optional[float] = None,
+            hours: Optional[float] = None) -> None:
+        """Advance the experiment by the given duration."""
+        total = 0.0
+        total += seconds or 0.0
+        total += (minutes or 0.0) * 60.0
+        total += (hours or 0.0) * 3600.0
+        if total <= 0:
+            raise ValueError("run duration must be positive")
+        if not self._started:
+            self.start()
+        self.sim.run(total)
+
+    def finalize(self) -> None:
+        """Close energy accounting (call once, after the last run)."""
+        for node in self.bt_nodes:
+            node.finalize(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Workload events
+    # ------------------------------------------------------------------
+    def schedule_script(self, script: EventScript) -> None:
+        for event in script.events:
+            if isinstance(event, DoorEvent):
+                self.schedule_door(event.start, event.duration,
+                                   event.fraction)
+            elif isinstance(event, WindowEvent):
+                self.schedule_window(event.start, event.duration,
+                                     event.fraction)
+            elif isinstance(event, OccupancyChange):
+                self.sim.schedule_at(
+                    event.time,
+                    lambda e=event: self.plant.set_occupants(
+                        e.subspace, e.occupants),
+                    name=f"occupancy/{event.subspace}")
+
+    def schedule_door(self, start: float, duration: float,
+                      fraction: float = 1.0) -> None:
+        """Open the door at ``start`` (absolute) for ``duration`` s."""
+        self.sim.schedule_at(start,
+                             lambda: self.plant.set_door(fraction),
+                             name="door-open")
+        self.sim.schedule_at(start + duration,
+                             lambda: self.plant.set_door(0.0),
+                             name="door-close")
+
+    def schedule_window(self, start: float, duration: float,
+                        fraction: float = 1.0) -> None:
+        self.sim.schedule_at(start,
+                             lambda: self.plant.set_window(fraction),
+                             name="window-open")
+        self.sim.schedule_at(start + duration,
+                             lambda: self.plant.set_window(0.0),
+                             name="window-close")
+
+    # ------------------------------------------------------------------
+    # Physics and recording
+    # ------------------------------------------------------------------
+    def _physics_step(self, now: float) -> None:
+        self.plant.step(now, self.config.physics_dt_s)
+
+    def _record(self, now: float) -> None:
+        trace = self.sim.trace
+        outdoor = self.plant.outdoor(now)
+        trace.record("outdoor/temp", now, outdoor.temp_c)
+        trace.record("outdoor/dew", now, outdoor.dew_point_c)
+        for i, subspace in enumerate(self.plant.room.subspaces):
+            trace.record(f"subspace/{i}/temp", now, subspace.state.temp_c)
+            trace.record(f"subspace/{i}/dew", now, subspace.state.dew_point_c)
+            trace.record(f"subspace/{i}/co2", now, subspace.state.co2_ppm)
+        trace.record("tank/18C", now, self.plant.radiant_tank.temp_c)
+        trace.record("tank/8C", now, self.plant.vent_tank.temp_c)
+        for p, loop in enumerate(self.plant.panel_loops):
+            trace.record(f"panel/{p}/mix_temp", now, loop.mix_temp_c)
+            trace.record(f"panel/{p}/mix_flow", now, loop.mix_flow_lps)
+            if loop.last_result is not None:
+                trace.record(f"panel/{p}/heat", now, loop.last_result.heat_w)
+                trace.record(f"panel/{p}/surface", now,
+                             loop.last_result.surface_temp_c)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def subspace_series(self, index: int, quantity: str = "temp"):
+        """(times, values) for one subspace's recorded series."""
+        series = self.sim.trace.series(f"subspace/{index}/{quantity}")
+        return series.times(), series.values()
+
+    def network_stats(self) -> Dict[str, float]:
+        if self.medium is None:
+            return {}
+        return self.medium.stats()
+
+    def adaptive_transmitters(self):
+        """All BT-ADPT state machines (empty in fixed/direct modes)."""
+        return [node.transmitter for node in self.bt_nodes
+                if node.transmitter is not None]

@@ -1,0 +1,28 @@
+"""Sensing and control devices.
+
+Sensor models with datasheet noise/quantisation, the TelosB mote
+abstraction every device communicates through, and the customized
+control boards (Control-C-1/C-2, Control-V-1/V-2/V-3) hosting the
+distributed control logic (paper §III, Fig. 5 and Fig. 7).
+"""
+
+from repro.devices.sensors import (
+    ADT7410TemperatureSensor,
+    SHT75Sensor,
+    Vision2000FlowSensor,
+    CO2Sensor,
+    SensorModel,
+)
+from repro.devices.mote import Mote, PowerSource
+from repro.devices.btnode import BtSensorNode
+
+__all__ = [
+    "ADT7410TemperatureSensor",
+    "SHT75Sensor",
+    "Vision2000FlowSensor",
+    "CO2Sensor",
+    "SensorModel",
+    "Mote",
+    "PowerSource",
+    "BtSensorNode",
+]

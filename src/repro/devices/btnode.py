@@ -1,0 +1,105 @@
+"""Battery-powered wireless sensor node (a paper "bt-device").
+
+A bt-node samples its sensor every T_spl seconds and broadcasts the
+latest reading every T_snd seconds.  In ``adaptive`` mode T_snd follows
+the BT-ADPT state machine (:mod:`repro.net.adaptive`); in ``fixed`` mode
+T_snd = T_spl, the conservative baseline of paper Fig. 15.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.devices.mote import Mote, PowerSource
+from repro.devices.sensors import SensorModel
+from repro.net.adaptive import AdaptivePolicy, AdaptiveTransmitter
+from repro.net.medium import BroadcastMedium
+from repro.net.packet import DataType
+from repro.sim.engine import Simulator, PRIORITY_SENSING
+from repro.sim.process import PeriodicTask
+
+
+class TransmissionMode(enum.Enum):
+    ADAPTIVE = "adaptive"   # BT-ADPT
+    FIXED = "fixed"         # T_snd == T_spl, always
+
+
+class BtSensorNode:
+    """Sensor + TelosB mote + transmission policy, fully assembled."""
+
+    def __init__(self, sim: Simulator, medium: BroadcastMedium,
+                 device_id: str, data_type: DataType, key: Any,
+                 sensor: SensorModel,
+                 mode: TransmissionMode = TransmissionMode.ADAPTIVE,
+                 policy: Optional[AdaptivePolicy] = None,
+                 track_oracle: bool = True) -> None:
+        self.sim = sim
+        self.device_id = device_id
+        self.data_type = data_type
+        self.key = key
+        self.sensor = sensor
+        self.mode = mode
+        self.policy = policy or AdaptivePolicy.for_type(data_type)
+        self.mote = Mote(sim, medium, device_id, PowerSource.BATTERY)
+        self.transmitter = (AdaptiveTransmitter(device_id, self.policy,
+                                                track_oracle=track_oracle)
+                            if mode is TransmissionMode.ADAPTIVE else None)
+        self._latest: Optional[float] = None
+        self._sample_task = PeriodicTask(
+            sim, f"{device_id}/sample", self.policy.sampling_period_s,
+            self._sample, priority=PRIORITY_SENSING,
+            jitter=0.5 * self.policy.sampling_period_s, phase=0.1)
+        self._send_task = PeriodicTask(
+            sim, f"{device_id}/send", self.policy.sampling_period_s,
+            self._send, priority=PRIORITY_SENSING,
+            jitter=0.2, phase=0.5)
+        self.sends = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._sample_task.start()
+        self._send_task.start()
+
+    def stop(self) -> None:
+        self._sample_task.stop()
+        self._send_task.stop()
+
+    @property
+    def send_period_s(self) -> float:
+        return self._send_task.period
+
+    @property
+    def latest_sample(self) -> Optional[float]:
+        return self._latest
+
+    # ------------------------------------------------------------------
+    def _sample(self, now: float) -> None:
+        self._latest = self.sensor.read()
+        if self.transmitter is None:
+            return
+        verdict = self.transmitter.on_sample(self._latest, now)
+        if verdict == "reset":
+            # "adjusts T_snd the same as T_spl and immediately resets the
+            # timer using the updated T_snd" (paper §IV-B).
+            self._send_task.set_period(self.policy.sampling_period_s,
+                                       reschedule=True)
+        elif verdict == "doubled":
+            self._send_task.set_period(self.transmitter.send_period_s,
+                                       reschedule=True)
+
+    def _send(self, now: float) -> None:
+        if self._latest is None:
+            return
+        self.mote.broadcast(self.data_type, self._latest, key=self.key)
+        self.sends += 1
+        self.sim.trace.record(f"tsnd/{self.device_id}", now,
+                              self._send_task.period)
+
+    # ------------------------------------------------------------------
+    def finalize(self, now: float) -> None:
+        """Close energy accounting at the end of a run."""
+        self.mote.finalize_energy(now)
+
+    def projected_lifetime_years(self, elapsed_s: float) -> float:
+        return self.mote.projected_lifetime_years(elapsed_s)

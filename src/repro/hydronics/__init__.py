@@ -1,0 +1,35 @@
+"""Hydronic substrate: the water side of BubbleZERO.
+
+Chillers, cold-water tanks, DC pumps, the supply/recycle mixing loop and
+the radiant ceiling panels (paper Fig. 3).  Everything the radiant
+cooling module actuates lives here.
+"""
+
+from repro.hydronics.water import WATER_CP, WATER_DENSITY, water_heat_flux
+from repro.hydronics.pump import DCPump, PumpCurve
+from repro.hydronics.mixing import MixingJunction, MixResult
+from repro.hydronics.chiller import CarnotFractionChiller
+from repro.hydronics.heatpump import (
+    CarnotFractionHeatPump,
+    WarmWaterTank,
+    carnot_heating_cop,
+)
+from repro.hydronics.tank import ColdWaterTank
+from repro.hydronics.panel import RadiantPanel, PanelResult
+
+__all__ = [
+    "WATER_CP",
+    "WATER_DENSITY",
+    "water_heat_flux",
+    "DCPump",
+    "PumpCurve",
+    "MixingJunction",
+    "MixResult",
+    "CarnotFractionChiller",
+    "CarnotFractionHeatPump",
+    "WarmWaterTank",
+    "carnot_heating_cop",
+    "ColdWaterTank",
+    "RadiantPanel",
+    "PanelResult",
+]

@@ -1,0 +1,138 @@
+"""Heat pumps and warm-water storage: low-exergy *heating*.
+
+The exergy argument is symmetric: the paper's §VI notes that "water
+based radiation has been explored for heating purpose [23]" — the same
+ceiling panels, run with barely-warm water (~30 degC) from a heat pump,
+heat a room far more efficiently than 55 degC radiators or resistive
+heaters, because heating COP is bounded by Carnot's T_hot/(T_hot - T_cold)
+and shrinks as the supply temperature rises.
+
+This module provides the heating-side substrate mirroring the chiller
+and cold tank: a Carnot-fraction heat pump and a warm-water tank with a
+hysteresis loop.
+"""
+
+from __future__ import annotations
+
+from repro.physics.exergy import ExergyError, celsius_to_kelvin
+from repro.hydronics.water import WATER_CP, WATER_DENSITY
+
+
+def carnot_heating_cop(hot_temp_c: float, cold_temp_c: float) -> float:
+    """Ideal heating COP: T_h / (T_h - T_c), temperatures in Celsius.
+
+    >>> round(carnot_heating_cop(30.0, 5.0), 2)
+    12.13
+    """
+    hot_k = celsius_to_kelvin(hot_temp_c)
+    cold_k = celsius_to_kelvin(cold_temp_c)
+    if hot_k <= cold_k:
+        raise ExergyError("supply temperature must exceed the source")
+    return hot_k / (hot_k - cold_k)
+
+
+class CarnotFractionHeatPump:
+    """An air/water-source heat pump at a fixed fraction of Carnot."""
+
+    def __init__(self, name: str, hot_setpoint_c: float,
+                 second_law_fraction: float, parasitic_w: float = 8.0,
+                 capacity_w: float = 3000.0) -> None:
+        if not (0 < second_law_fraction < 1):
+            raise ValueError(
+                f"heat pump {name!r}: second-law fraction must be in (0, 1)")
+        if capacity_w <= 0:
+            raise ValueError(f"heat pump {name!r}: capacity must be positive")
+        self.name = name
+        self.hot_setpoint_c = hot_setpoint_c
+        self.second_law_fraction = second_law_fraction
+        self.parasitic_w = parasitic_w
+        self.capacity_w = capacity_w
+        self.energy_j = 0.0
+        self.heat_delivered_j = 0.0
+
+    def cop_at(self, source_temp_c: float) -> float:
+        """Heating COP when drawing from a source at ``source_temp_c``."""
+        ideal = carnot_heating_cop(self.hot_setpoint_c, source_temp_c)
+        return max(1.0, self.second_law_fraction * ideal)
+
+    def electrical_power_w(self, heating_load_w: float,
+                           source_temp_c: float) -> float:
+        if heating_load_w < 0:
+            raise ValueError("heating load cannot be negative")
+        load = min(heating_load_w, self.capacity_w)
+        if load == 0:
+            return self.parasitic_w
+        return self.parasitic_w + load / self.cop_at(source_temp_c)
+
+    def integrate(self, dt: float, heating_load_w: float,
+                  source_temp_c: float) -> float:
+        power = self.electrical_power_w(heating_load_w, source_temp_c)
+        self.energy_j += power * dt
+        self.heat_delivered_j += min(heating_load_w, self.capacity_w) * dt
+        return power
+
+    def measured_cop(self) -> float:
+        if self.energy_j <= 0:
+            raise RuntimeError(f"heat pump {self.name!r} has not run yet")
+        return self.heat_delivered_j / self.energy_j
+
+
+class WarmWaterTank:
+    """A stirred warm-water tank held near setpoint by its heat pump."""
+
+    def __init__(self, name: str, heat_pump: CarnotFractionHeatPump,
+                 volume_l: float = 150.0, setpoint_c: float = 30.0,
+                 deadband_k: float = 0.15,
+                 ambient_ua_w_per_k: float = 1.5) -> None:
+        if volume_l <= 0:
+            raise ValueError(f"tank {name!r}: volume must be positive")
+        self.name = name
+        self.heat_pump = heat_pump
+        self.volume_l = volume_l
+        self.setpoint_c = setpoint_c
+        self.deadband_k = deadband_k
+        self.ambient_ua_w_per_k = ambient_ua_w_per_k
+        self.temp_c = setpoint_c
+        self._heating = False
+
+    @property
+    def thermal_mass_j_per_k(self) -> float:
+        return self.volume_l * 1e-3 * WATER_DENSITY * WATER_CP
+
+    def draw(self) -> float:
+        return self.temp_c
+
+    def accept_return(self, flow_lps: float, return_temp_c: float,
+                      dt: float) -> None:
+        """Cooler water returning from the panels lowers the tank."""
+        if flow_lps < 0 or dt < 0:
+            raise ValueError("flow and dt must be non-negative")
+        if flow_lps == 0 or dt == 0:
+            return
+        mass = flow_lps * 1e-3 * WATER_DENSITY * dt
+        heat_j = mass * WATER_CP * (return_temp_c - self.temp_c)
+        self.temp_c += heat_j / self.thermal_mass_j_per_k
+
+    def step(self, dt: float, ambient_temp_c: float,
+             source_temp_c: float) -> None:
+        """Advance the tank and run the heat-pump hysteresis loop."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        loss_w = self.ambient_ua_w_per_k * (self.temp_c - ambient_temp_c)
+        self.temp_c -= loss_w * dt / self.thermal_mass_j_per_k
+
+        if self.temp_c < self.setpoint_c - self.deadband_k:
+            self._heating = True
+        elif self.temp_c > self.setpoint_c + self.deadband_k:
+            self._heating = False
+
+        if self._heating:
+            load_w = self.heat_pump.capacity_w
+            deficit_k = (self.setpoint_c + self.deadband_k) - self.temp_c
+            max_addable = (deficit_k * self.thermal_mass_j_per_k / dt
+                           if dt else 0.0)
+            load_w = min(load_w, max(0.0, max_addable))
+            self.heat_pump.integrate(dt, load_w, source_temp_c)
+            self.temp_c += load_w * dt / self.thermal_mass_j_per_k
+        else:
+            self.heat_pump.integrate(dt, 0.0, source_temp_c)

@@ -1,0 +1,77 @@
+"""The supply/recycle mixing junction (paper Fig. 3 and Fig. 4(a)).
+
+A recycle pipe bridges the panel's return pipe back into its supply
+pipe.  The supply pump draws cold water from the tank at T_supp; the
+recycle pump redirects warm return water at T_rcyc; the junction mixes
+the two streams adiabatically.  Controlling the two pump speeds sets
+both the mixed temperature T_mix and the mixed flow F_mix — the two
+control parameters of the radiant cooling module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hydronics.pump import DCPump
+from repro.hydronics.water import mix_temperature
+
+
+@dataclass(frozen=True)
+class MixResult:
+    """Outcome of one mixing computation."""
+
+    flow_lps: float          # F_mix
+    temp_c: float            # T_mix
+    supply_flow_lps: float   # F_supp drawn from the tank
+    recycle_flow_lps: float  # F_rcyc recirculated from the return pipe
+
+
+class MixingJunction:
+    """Adiabatic three-way junction fed by a supply and a recycle pump."""
+
+    def __init__(self, supply_pump: DCPump, recycle_pump: DCPump) -> None:
+        self.supply_pump = supply_pump
+        self.recycle_pump = recycle_pump
+
+    def mix(self, supply_temp_c: float, return_temp_c: float) -> MixResult:
+        """Mix the two streams at the pumps' current flows.
+
+        ``supply_temp_c`` is the tank water temperature (T_supp, 18 degC
+        nominal); ``return_temp_c`` is the warm water coming back from
+        the panel.  With both pumps stopped the junction reports zero
+        flow at the supply temperature (no water moving).
+        """
+        f_supp = self.supply_pump.flow_lps
+        f_rcyc = self.recycle_pump.flow_lps
+        total = f_supp + f_rcyc
+        if total <= 0:
+            return MixResult(0.0, supply_temp_c, 0.0, 0.0)
+        temp = mix_temperature(f_supp, supply_temp_c, f_rcyc, return_temp_c)
+        return MixResult(total, temp, f_supp, f_rcyc)
+
+    @staticmethod
+    def flows_for_target(total_flow_lps: float, target_temp_c: float,
+                         supply_temp_c: float, return_temp_c: float
+                         ) -> "tuple[float, float]":
+        """Solve the mixing equation for pump flows.
+
+        Returns ``(supply_flow, recycle_flow)`` such that the mixture has
+        ``total_flow_lps`` at ``target_temp_c``.  When the target is
+        outside the [supply, return] temperature envelope it is clamped
+        to the nearest achievable endpoint — matching the physical
+        reality that mixing cannot extrapolate.
+        """
+        if total_flow_lps < 0:
+            raise ValueError("total flow cannot be negative")
+        if total_flow_lps == 0:
+            return 0.0, 0.0
+        lo = min(supply_temp_c, return_temp_c)
+        hi = max(supply_temp_c, return_temp_c)
+        target = min(max(target_temp_c, lo), hi)
+        if abs(return_temp_c - supply_temp_c) < 1e-9:
+            return total_flow_lps, 0.0
+        recycle_fraction = ((target - supply_temp_c)
+                            / (return_temp_c - supply_temp_c))
+        recycle_fraction = min(max(recycle_fraction, 0.0), 1.0)
+        f_rcyc = total_flow_lps * recycle_fraction
+        return total_flow_lps - f_rcyc, f_rcyc

@@ -1,0 +1,92 @@
+"""DC circulation pumps (paper Fig. 3, item 3; Fig. 5(b)).
+
+The deployment's pumps take a 0–5 V control signal from the Control-C-2
+board's DAC and produce a roughly proportional flow.  We model a linear
+pump curve with a dead band (small voltages don't overcome static head)
+and an electrical power model (hydraulic work / efficiency + controller
+standby), which feeds the COP accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PumpCurve:
+    """Static voltage-to-flow characteristic.
+
+    ``max_flow_lps`` is delivered at ``max_voltage``; below
+    ``deadband_v`` the pump does not move water.
+    """
+
+    max_flow_lps: float = 0.20
+    max_voltage: float = 5.0
+    deadband_v: float = 0.3
+
+    def flow_at(self, voltage: float) -> float:
+        """Volumetric flow (L/s) produced at ``voltage``."""
+        if voltage <= self.deadband_v:
+            return 0.0
+        voltage = min(voltage, self.max_voltage)
+        span = self.max_voltage - self.deadband_v
+        return self.max_flow_lps * (voltage - self.deadband_v) / span
+
+    def voltage_for(self, flow_lps: float) -> float:
+        """Inverse of :meth:`flow_at`, clamped to [0, max_voltage]."""
+        if flow_lps <= 0:
+            return 0.0
+        flow_lps = min(flow_lps, self.max_flow_lps)
+        span = self.max_voltage - self.deadband_v
+        return self.deadband_v + span * flow_lps / self.max_flow_lps
+
+
+class DCPump:
+    """A voltage-controlled circulation pump with energy accounting."""
+
+    def __init__(self, name: str, curve: PumpCurve = PumpCurve(),
+                 rated_power_w: float = 12.0, standby_power_w: float = 0.4,
+                 head_pa: float = 1.2e4, efficiency: float = 0.35) -> None:
+        if not (0 < efficiency <= 1):
+            raise ValueError(f"pump {name!r}: efficiency must be in (0, 1]")
+        self.name = name
+        self.curve = curve
+        self.rated_power_w = rated_power_w
+        self.standby_power_w = standby_power_w
+        self.head_pa = head_pa
+        self.efficiency = efficiency
+        self._voltage = 0.0
+        self.energy_j = 0.0
+
+    @property
+    def voltage(self) -> float:
+        return self._voltage
+
+    def set_voltage(self, voltage: float) -> None:
+        """Apply the DAC output; clamped to the pump's valid range."""
+        self._voltage = min(max(voltage, 0.0), self.curve.max_voltage)
+
+    @property
+    def flow_lps(self) -> float:
+        """Current delivered flow, L/s."""
+        return self.curve.flow_at(self._voltage)
+
+    def electrical_power_w(self) -> float:
+        """Instantaneous electrical draw, W.
+
+        Hydraulic power is flow * head; dividing by the wire-to-water
+        efficiency and capping at the rated power gives the electrical
+        draw.  A stopped pump still draws its controller standby power.
+        """
+        flow_m3s = self.flow_lps * 1e-3
+        if flow_m3s <= 0:
+            return self.standby_power_w
+        hydraulic = flow_m3s * self.head_pa
+        return min(self.rated_power_w,
+                   self.standby_power_w + hydraulic / self.efficiency)
+
+    def integrate(self, dt: float) -> None:
+        """Accumulate electrical energy over ``dt`` seconds."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self.energy_j += self.electrical_power_w() * dt

@@ -1,0 +1,85 @@
+"""Cold-water storage tanks.
+
+Each module has its own tank: 18 degC for radiant cooling, 8 degC for
+the airbox dehumidification coils (paper Fig. 2).  The tank is a mixed
+thermal mass held near its setpoint by its chiller; warm return water
+raises the tank temperature, and the chiller works it back down.  The
+chiller load the tank reports is exactly what the paper's power meters
+integrate.
+"""
+
+from __future__ import annotations
+
+from repro.hydronics.chiller import CarnotFractionChiller
+from repro.hydronics.water import WATER_CP, WATER_DENSITY
+
+
+class ColdWaterTank:
+    """A stirred tank of chilled water with a dead-band chiller loop."""
+
+    def __init__(self, name: str, chiller: CarnotFractionChiller,
+                 volume_l: float = 150.0, setpoint_c: float = 18.0,
+                 deadband_k: float = 0.15,
+                 ambient_ua_w_per_k: float = 1.5) -> None:
+        if volume_l <= 0:
+            raise ValueError(f"tank {name!r}: volume must be positive")
+        self.name = name
+        self.chiller = chiller
+        self.volume_l = volume_l
+        self.setpoint_c = setpoint_c
+        self.deadband_k = deadband_k
+        self.ambient_ua_w_per_k = ambient_ua_w_per_k
+        self.temp_c = setpoint_c
+        self.heat_returned_j = 0.0
+        self._chilling = False
+
+    @property
+    def thermal_mass_j_per_k(self) -> float:
+        return self.volume_l * 1e-3 * WATER_DENSITY * WATER_CP
+
+    def draw(self) -> float:
+        """Temperature of water drawn from the tank (T_supp)."""
+        return self.temp_c
+
+    def accept_return(self, flow_lps: float, return_temp_c: float,
+                      dt: float) -> None:
+        """Return ``flow_lps`` of water at ``return_temp_c`` for ``dt`` s.
+
+        The returning stream displaces tank water, warming the mixed
+        volume; the heat it carries is logged as load eventually served
+        by the chiller.
+        """
+        if flow_lps < 0 or dt < 0:
+            raise ValueError("flow and dt must be non-negative")
+        if flow_lps == 0 or dt == 0:
+            return
+        mass = flow_lps * 1e-3 * WATER_DENSITY * dt
+        heat_j = mass * WATER_CP * (return_temp_c - self.temp_c)
+        self.temp_c += heat_j / self.thermal_mass_j_per_k
+        if heat_j > 0:
+            self.heat_returned_j += heat_j
+
+    def step(self, dt: float, ambient_temp_c: float,
+             reject_temp_c: float) -> None:
+        """Advance tank thermal state and run the chiller hysteresis loop."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        gain_w = self.ambient_ua_w_per_k * (ambient_temp_c - self.temp_c)
+        self.temp_c += gain_w * dt / self.thermal_mass_j_per_k
+
+        # Hysteretic chiller control around the setpoint.
+        if self.temp_c > self.setpoint_c + self.deadband_k:
+            self._chilling = True
+        elif self.temp_c < self.setpoint_c - self.deadband_k:
+            self._chilling = False
+
+        if self._chilling:
+            load_w = self.chiller.capacity_w
+            # Don't overshoot below the setpoint within this step.
+            excess_k = self.temp_c - (self.setpoint_c - self.deadband_k)
+            max_removable = excess_k * self.thermal_mass_j_per_k / dt if dt else 0.0
+            load_w = min(load_w, max(0.0, max_removable))
+            self.chiller.integrate(dt, load_w, reject_temp_c)
+            self.temp_c -= load_w * dt / self.thermal_mass_j_per_k
+        else:
+            self.chiller.integrate(dt, 0.0, reject_temp_c)

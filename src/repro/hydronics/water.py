@@ -1,0 +1,44 @@
+"""Water properties and heat-flux helpers.
+
+The paper computes removed heat as P = c * F * (T_retn - T_supp) with c
+"a constant related to the water thermal capacity and density"
+(paper §V-B); that constant is rho * cp below.
+"""
+
+from __future__ import annotations
+
+WATER_DENSITY = 998.0   # kg/m^3 at ~20 degC
+WATER_CP = 4186.0       # J/kg/K
+
+
+def mass_flow(volumetric_lps: float) -> float:
+    """Litres-per-second to kg/s."""
+    if volumetric_lps < 0:
+        raise ValueError(f"flow cannot be negative: {volumetric_lps}")
+    return volumetric_lps * 1e-3 * WATER_DENSITY
+
+
+def water_heat_flux(flow_lps: float, temp_in_c: float,
+                    temp_out_c: float) -> float:
+    """Heat absorbed by a water stream, W.
+
+    Positive when the water leaves warmer than it entered — i.e. the
+    stream *removed* heat from its surroundings, which is the quantity
+    the paper's COP numerator measures.
+    """
+    return mass_flow(flow_lps) * WATER_CP * (temp_out_c - temp_in_c)
+
+
+def mix_temperature(flow_a_lps: float, temp_a_c: float,
+                    flow_b_lps: float, temp_b_c: float) -> float:
+    """Adiabatic mixing temperature of two water streams.
+
+    >>> mix_temperature(1.0, 18.0, 1.0, 22.0)
+    20.0
+    """
+    if flow_a_lps < 0 or flow_b_lps < 0:
+        raise ValueError("flows cannot be negative")
+    total = flow_a_lps + flow_b_lps
+    if total <= 0:
+        raise ValueError("cannot mix two zero-flow streams")
+    return (flow_a_lps * temp_a_c + flow_b_lps * temp_b_c) / total

@@ -1,0 +1,146 @@
+"""Unslotted CSMA/CA MAC, 802.15.4 style.
+
+Before transmitting, a device backs off a random number of 320 us unit
+backoff periods (initial exponent 3, growing to 5), then performs a
+clear-channel assessment; a busy channel retries with a larger window,
+up to ``max_backoffs`` attempts before the frame is dropped.  Broadcast
+frames carry no acknowledgement, matching the paper's type-addressed
+dissemination.
+
+The MAC keeps per-device statistics (frames sent/dropped, backoffs,
+queueing + access delay) that the networking benchmarks read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.net.medium import BroadcastMedium
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator, PRIORITY_NETWORK
+
+UNIT_BACKOFF_S = 320e-6
+MIN_BE = 3
+MAX_BE = 5
+
+# RX->TX turnaround (aTurnaroundTime, 12 symbols).  Between a passing
+# CCA and the first transmitted symbol the radio is deaf and the
+# channel still looks idle to everyone else — this window is where real
+# 802.15.4 collisions come from.
+TURNAROUND_S = 192e-6
+
+
+@dataclass
+class MacStats:
+    """Counters one CsmaMac accumulates."""
+
+    enqueued: int = 0
+    sent: int = 0
+    dropped: int = 0
+    backoffs: int = 0
+    cca_failures: int = 0
+    total_access_delay_s: float = 0.0
+
+    @property
+    def mean_access_delay_s(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return self.total_access_delay_s / self.sent
+
+    @property
+    def drop_rate(self) -> float:
+        if self.enqueued == 0:
+            return 0.0
+        return self.dropped / self.enqueued
+
+
+class CsmaMac:
+    """One device's MAC entity."""
+
+    def __init__(self, sim: Simulator, medium: BroadcastMedium,
+                 device_id: str, max_backoffs: int = 4,
+                 queue_limit: int = 16,
+                 on_transmit: Optional[Callable[[Packet], None]] = None) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.device_id = device_id
+        self.max_backoffs = max_backoffs
+        self.queue_limit = queue_limit
+        self.on_transmit = on_transmit
+        self.stats = MacStats()
+        self._queue: Deque[Tuple[Packet, float]] = deque()
+        self._busy = False
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission.
+
+        Returns False when the queue is full and the frame was dropped
+        at admission (the MCU's small frame buffer overflowed).
+        """
+        if len(self._queue) >= self.queue_limit:
+            self.stats.dropped += 1
+            return False
+        self.stats.enqueued += 1
+        self._queue.append((packet, self.sim.now))
+        if not self._busy:
+            self._start_next()
+        return True
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet, enqueue_time = self._queue[0]
+        self._attempt(packet, enqueue_time, attempt=0, be=MIN_BE)
+
+    def _attempt(self, packet: Packet, enqueue_time: float,
+                 attempt: int, be: int) -> None:
+        rng = self.sim.rng.stream(f"mac/{self.device_id}")
+        slots = int(rng.integers(0, 2 ** be))
+        delay = slots * UNIT_BACKOFF_S
+        self.stats.backoffs += 1 if attempt > 0 else 0
+        self.sim.schedule_in(
+            delay, lambda: self._cca(packet, enqueue_time, attempt, be),
+            priority=PRIORITY_NETWORK, name=f"cca/{self.device_id}")
+
+    def _cca(self, packet: Packet, enqueue_time: float,
+             attempt: int, be: int) -> None:
+        if self.medium.is_busy():
+            self.stats.cca_failures += 1
+            if attempt + 1 >= self.max_backoffs:
+                # Channel access failure: drop the frame.
+                self.stats.dropped += 1
+                self._queue.popleft()
+                self._start_next()
+                return
+            self._attempt(packet, enqueue_time, attempt + 1,
+                          min(be + 1, MAX_BE))
+            return
+        # Channel clear: transmit after the radio turnaround.  Another
+        # device whose CCA also passes inside this window will overlap
+        # us on the air — the collision mechanism of real CSMA/CA.
+        self._queue.popleft()
+        self.sim.schedule_in(
+            TURNAROUND_S,
+            lambda: self._transmit(packet, enqueue_time),
+            priority=PRIORITY_NETWORK, name=f"mac-tx/{self.device_id}")
+
+    def _transmit(self, packet: Packet, enqueue_time: float) -> None:
+        self.stats.sent += 1
+        self.stats.total_access_delay_s += self.sim.now - enqueue_time
+        self.medium.transmit(packet, self.device_id)
+        if self.on_transmit is not None:
+            self.on_transmit(packet)
+        # Next frame (if any) contends after this one's airtime.
+        self.sim.schedule_in(packet.airtime_s(), self._start_next,
+                             priority=PRIORITY_NETWORK,
+                             name=f"mac-next/{self.device_id}")

@@ -1,0 +1,160 @@
+"""The shared broadcast radio channel.
+
+BubbleZERO's space is small relative to TelosB range ("TelosB motes can
+reliably communicate up to 50 m in the indoor environment" — paper
+§IV-A), so the medium is a single-cell broadcast domain: every
+transmission is heard by every device.  Two transmissions that overlap
+in time collide and are lost at all receivers; otherwise delivery
+succeeds unless an independent per-reception noise loss strikes.
+
+A :class:`Sniffer` registered on the medium sees every frame and its
+fate — the simulation counterpart of the paper's "TelosB based sniffer
+nodes [that] collect all network packets".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator, PRIORITY_NETWORK
+
+
+@dataclass
+class Transmission:
+    """One frame in flight."""
+
+    packet: Packet
+    sender: str
+    start: float
+    end: float
+    collided: bool = False
+
+
+@dataclass
+class SnifferRecord:
+    """What the sniffer logged about one frame."""
+
+    packet: Packet
+    sender: str
+    start: float
+    end: float
+    collided: bool
+    receivers_reached: int
+
+
+class Sniffer:
+    """Promiscuous logger of everything on the channel."""
+
+    def __init__(self) -> None:
+        self.records: List[SnifferRecord] = []
+
+    def log(self, record: SnifferRecord) -> None:
+        self.records.append(record)
+
+    def frames_of(self, data_type) -> List[SnifferRecord]:
+        return [r for r in self.records if r.packet.data_type == data_type]
+
+    @property
+    def collision_count(self) -> int:
+        return sum(1 for r in self.records if r.collided)
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.records)
+
+
+class BroadcastMedium:
+    """Single-cell broadcast channel with collision semantics."""
+
+    def __init__(self, sim: Simulator, loss_probability: float = 0.02) -> None:
+        if not (0 <= loss_probability < 1):
+            raise ValueError("loss probability must be in [0, 1)")
+        self.sim = sim
+        self.loss_probability = loss_probability
+        self._active: List[Transmission] = []
+        self._receivers: Dict[str, Callable[[Packet, str], None]] = {}
+        self._sniffers: List[Sniffer] = []
+        self._activity_listeners: List[Callable[[float, float], None]] = []
+        self.total_transmissions = 0
+        self.total_collisions = 0
+
+    # ------------------------------------------------------------------
+    def attach_receiver(self, device_id: str,
+                        handler: Callable[[Packet, str], None]) -> None:
+        """Register ``handler(packet, sender)`` to hear the channel."""
+        if device_id in self._receivers:
+            raise ValueError(f"device {device_id!r} already attached")
+        self._receivers[device_id] = handler
+
+    def detach_receiver(self, device_id: str) -> None:
+        self._receivers.pop(device_id, None)
+
+    def attach_sniffer(self, sniffer: Sniffer) -> None:
+        self._sniffers.append(sniffer)
+
+    def add_activity_listener(self,
+                              listener: Callable[[float, float], None]) -> None:
+        """Register ``listener(start_time, airtime)`` called on every
+        transmission — the hook the AC schedule adapters use to build
+        their channel-busy profiles from their always-on radios."""
+        self._activity_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def is_busy(self) -> bool:
+        """Clear-channel assessment at the current instant."""
+        now = self.sim.now
+        return any(tx.start <= now < tx.end for tx in self._active)
+
+    def transmit(self, packet: Packet, sender: str) -> Transmission:
+        """Put ``packet`` on the air starting now.
+
+        The MAC is responsible for CCA; the medium faithfully collides
+        anything that overlaps (e.g. two devices whose CCA passed at the
+        same instant).
+        """
+        now = self.sim.now
+        tx = Transmission(packet=packet, sender=sender, start=now,
+                          end=now + packet.airtime_s())
+        for other in self._active:
+            if other.end > now:  # any still-active frame overlaps ours
+                other.collided = True
+                tx.collided = True
+        self._active.append(tx)
+        self.total_transmissions += 1
+        for listener in self._activity_listeners:
+            listener(tx.start, packet.airtime_s())
+        self.sim.schedule_at(tx.end, lambda: self._complete(tx),
+                             priority=PRIORITY_NETWORK,
+                             name=f"rx-complete/{packet.packet_id}")
+        return tx
+
+    def _complete(self, tx: Transmission) -> None:
+        self._active.remove(tx)
+        reached = 0
+        if tx.collided:
+            self.total_collisions += 1
+        else:
+            rng = self.sim.rng.stream("medium/loss")
+            for device_id, handler in list(self._receivers.items()):
+                if device_id == tx.sender:
+                    continue
+                if rng.uniform() < self.loss_probability:
+                    continue
+                handler(tx.packet, tx.sender)
+                reached += 1
+        record = SnifferRecord(
+            packet=tx.packet, sender=tx.sender, start=tx.start, end=tx.end,
+            collided=tx.collided, receivers_reached=reached)
+        for sniffer in self._sniffers:
+            sniffer.log(record)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        sent = self.total_transmissions
+        return {
+            "transmissions": sent,
+            "collisions": self.total_collisions,
+            "collision_rate": (self.total_collisions / sent) if sent else 0.0,
+        }

@@ -1,0 +1,242 @@
+"""Multihop networking: range-limited medium and type-based multicast.
+
+Implements the paper's stated future work (§IV-A, §VII): "When multi-hop
+communication must be concerned in large-scale environments, we can
+potentially extend our design by forming 'type' based multicast groups
+and routing messages with existing ad-hoc multicast approaches."
+
+Three pieces:
+
+* :class:`MultihopMedium` — like the single-cell broadcast medium, but
+  frames only reach nodes within radio range, carrier-sense is local,
+  and collisions are evaluated *per receiver* (two transmitters out of
+  each other's range can still collide at a node that hears both — the
+  hidden-terminal case).
+* :class:`MulticastRouter` — per-type multicast: subscribers of a data
+  type form a group; an (approximate Steiner) tree over the topology
+  connects each supplier to the group; only tree forwarders rebroadcast.
+* :class:`FloodingRouter` — the baseline: every node rebroadcasts every
+  new frame once (sequence-number deduplication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.packet import DataType, Packet
+from repro.net.topology import RadioTopology
+from repro.sim.engine import Simulator, PRIORITY_NETWORK
+
+
+@dataclass
+class HopTransmission:
+    """One frame in flight from one node."""
+
+    packet: Packet
+    sender: str
+    start: float
+    end: float
+    # Receivers that saw an overlapping frame from another neighbour.
+    jammed_at: Set[str] = field(default_factory=set)
+
+
+class MultihopMedium:
+    """Range-limited broadcast medium with per-receiver collisions."""
+
+    def __init__(self, sim: Simulator, topology: RadioTopology,
+                 loss_probability: float = 0.02) -> None:
+        if not (0 <= loss_probability < 1):
+            raise ValueError("loss probability must be in [0, 1)")
+        self.sim = sim
+        self.topology = topology
+        self.loss_probability = loss_probability
+        self._active: List[HopTransmission] = []
+        self._receivers: Dict[str, Callable[[Packet, str], None]] = {}
+        self.total_transmissions = 0
+        self.total_receptions = 0
+        self.collision_losses = 0
+
+    # ------------------------------------------------------------------
+    def attach_receiver(self, node_id: str,
+                        handler: Callable[[Packet, str], None]) -> None:
+        if node_id not in self.topology.node_ids:
+            raise ValueError(f"unknown node {node_id!r}")
+        if node_id in self._receivers:
+            raise ValueError(f"node {node_id!r} already attached")
+        self._receivers[node_id] = handler
+
+    def is_busy_near(self, node_id: str) -> bool:
+        """Local carrier sense: any in-range neighbour transmitting."""
+        now = self.sim.now
+        for tx in self._active:
+            if tx.start <= now < tx.end:
+                if (tx.sender == node_id
+                        or self.topology.in_range(tx.sender, node_id)):
+                    return True
+        return False
+
+    def transmit(self, packet: Packet, sender: str) -> HopTransmission:
+        now = self.sim.now
+        tx = HopTransmission(packet=packet, sender=sender, start=now,
+                             end=now + packet.airtime_s())
+        # Per-receiver collision: any node in range of BOTH an active
+        # transmission and this one loses both frames there.  A node
+        # that is itself transmitting cannot receive (half-duplex).
+        for other in self._active:
+            if other.end <= now:
+                continue
+            for node_id in self.topology.neighbors(sender):
+                if node_id == other.sender:
+                    tx.jammed_at.add(node_id)
+                elif self.topology.in_range(other.sender, node_id):
+                    tx.jammed_at.add(node_id)
+                    other.jammed_at.add(node_id)
+        self._active.append(tx)
+        self.total_transmissions += 1
+        self.sim.schedule_at(tx.end, lambda: self._complete(tx),
+                             priority=PRIORITY_NETWORK,
+                             name=f"mh-rx/{packet.packet_id}")
+        return tx
+
+    def _complete(self, tx: HopTransmission) -> None:
+        self._active.remove(tx)
+        rng = self.sim.rng.stream("multihop/loss")
+        for node_id in self.topology.neighbors(tx.sender):
+            handler = self._receivers.get(node_id)
+            if handler is None:
+                continue
+            if node_id in tx.jammed_at:
+                self.collision_losses += 1
+                continue
+            if rng.uniform() < self.loss_probability:
+                continue
+            self.total_receptions += 1
+            handler(tx.packet, tx.sender)
+
+
+class NodeChannelView:
+    """Adapter exposing the single-cell medium interface for one node.
+
+    Lets the unmodified :class:`~repro.net.mac.CsmaMac` run per node:
+    ``is_busy`` is the node's local carrier sense and ``transmit``
+    originates from the node's position.
+    """
+
+    def __init__(self, medium: MultihopMedium, node_id: str) -> None:
+        self.medium = medium
+        self.node_id = node_id
+
+    def is_busy(self) -> bool:
+        return self.medium.is_busy_near(self.node_id)
+
+    def transmit(self, packet: Packet, sender: str) -> None:
+        self.medium.transmit(packet, sender)
+
+
+@dataclass
+class RoutingStats:
+    """Counters a router accumulates."""
+
+    originated: int = 0
+    forwarded: int = 0
+    delivered: int = 0
+    duplicates_suppressed: int = 0
+
+
+class _RouterBase:
+    """Shared machinery: dedup, MAC-per-node, delivery callback."""
+
+    def __init__(self, sim: Simulator, medium: MultihopMedium,
+                 node_id: str,
+                 on_deliver: Optional[Callable[[Packet, str], None]] = None
+                 ) -> None:
+        from repro.net.mac import CsmaMac
+        self.sim = sim
+        self.medium = medium
+        self.node_id = node_id
+        self.on_deliver = on_deliver
+        self.stats = RoutingStats()
+        self.subscriptions: Set[DataType] = set()
+        self._seen: Set[int] = set()
+        self.mac = CsmaMac(sim, NodeChannelView(medium, node_id), node_id)
+        medium.attach_receiver(node_id, self._receive)
+
+    def subscribe(self, data_type: DataType) -> None:
+        self.subscriptions.add(data_type)
+
+    def originate(self, packet: Packet) -> None:
+        """Inject a locally-generated frame into the network."""
+        self._seen.add(packet.packet_id)
+        self.stats.originated += 1
+        if packet.data_type in self.subscriptions:
+            self._deliver(packet)
+        self.mac.send(packet)
+
+    # ------------------------------------------------------------------
+    def _receive(self, packet: Packet, sender: str) -> None:
+        if packet.packet_id in self._seen:
+            self.stats.duplicates_suppressed += 1
+            return
+        self._seen.add(packet.packet_id)
+        if packet.data_type in self.subscriptions:
+            self._deliver(packet)
+        if self._should_forward(packet, sender):
+            self.stats.forwarded += 1
+            self.mac.send(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.delivered += 1
+        if self.on_deliver is not None:
+            self.on_deliver(packet, self.node_id)
+
+    def _should_forward(self, packet: Packet, sender: str) -> bool:
+        raise NotImplementedError
+
+
+class FloodingRouter(_RouterBase):
+    """Baseline: rebroadcast every new frame once."""
+
+    def _should_forward(self, packet: Packet, sender: str) -> bool:
+        return True
+
+
+class MulticastRouter(_RouterBase):
+    """Type-based multicast: only tree forwarders rebroadcast.
+
+    The forwarding sets are installed by :func:`build_multicast_trees`
+    after the subscription pattern is known — the static-analysis
+    equivalent of a group-membership protocol converging.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.forwarding_types: Set[DataType] = set()
+
+    def _should_forward(self, packet: Packet, sender: str) -> bool:
+        return packet.data_type in self.forwarding_types
+
+
+def build_multicast_trees(topology: RadioTopology,
+                          routers: Dict[str, MulticastRouter],
+                          suppliers: Dict[DataType, List[str]]) -> None:
+    """Install per-type forwarding sets into the routers.
+
+    For each data type, the group is {all suppliers} U {all subscribers};
+    an approximate Steiner tree over the topology spans the group, and
+    every non-leaf tree node becomes a forwarder for the type.
+    """
+    for data_type, supplier_ids in suppliers.items():
+        members = set(supplier_ids)
+        members.update(node_id for node_id, router in routers.items()
+                       if data_type in router.subscriptions)
+        if len(members) < 2:
+            continue
+        edges = topology.steiner_tree_edges(members)
+        degree: Dict[str, int] = {}
+        for a, b in edges:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        for node_id, count in degree.items():
+            if count >= 2 and node_id in routers:
+                routers[node_id].forwarding_types.add(data_type)

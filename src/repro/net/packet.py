@@ -1,0 +1,84 @@
+"""Packets and data types.
+
+Messages in BubbleZERO are addressed by *data type*, not by receiver:
+"we let the suppliers categorize and address its data messages to
+certain 'types', e.g., temperature, humidity, CO2 concentration, etc,
+and broadcast data to the wireless channel" (paper §IV-A).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+# 802.15.4 PHY at 250 kbps: 4-byte preamble + 1 SFD + 1 PHY length, plus
+# a typical 11-byte MAC header/footer.
+PHY_RATE_BPS = 250_000.0
+PHY_OVERHEAD_BYTES = 6
+MAC_OVERHEAD_BYTES = 11
+
+
+class DataType(enum.Enum):
+    """Message categories used for type-addressed dissemination."""
+
+    TEMPERATURE = "temperature"
+    HUMIDITY = "humidity"
+    CO2 = "co2"
+    WATER_TEMP = "water_temp"
+    WATER_FLOW = "water_flow"
+    DEW_TARGET = "dew_target"
+    AIRBOX_DEW = "airbox_dew"
+    PUMP_CMD = "pump_cmd"
+    FAN_CMD = "fan_cmd"
+    FLAP_CMD = "flap_cmd"
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One broadcast frame.
+
+    ``payload`` maps field names to values (e.g. ``{"value": 25.3,
+    "subspace": 1}``); ``payload_bytes`` is the on-air payload size used
+    for airtime computation.
+    """
+
+    data_type: DataType
+    source: str
+    created_at: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+    payload_bytes: int = 8
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload size must be positive")
+        if self.payload_bytes > 114:
+            raise ValueError(
+                f"payload of {self.payload_bytes} bytes exceeds the "
+                "802.15.4 frame limit")
+
+    @property
+    def frame_bytes(self) -> int:
+        """Total on-air size including PHY and MAC overhead."""
+        return PHY_OVERHEAD_BYTES + MAC_OVERHEAD_BYTES + self.payload_bytes
+
+    def airtime_s(self) -> float:
+        """Time this frame occupies the channel."""
+        return frame_airtime_s(self.payload_bytes)
+
+
+def frame_airtime_s(payload_bytes: int) -> float:
+    """Airtime of a frame with ``payload_bytes`` of payload, seconds.
+
+    >>> round(frame_airtime_s(8) * 1e6)
+    800
+    """
+    if payload_bytes <= 0:
+        raise ValueError("payload size must be positive")
+    total = PHY_OVERHEAD_BYTES + MAC_OVERHEAD_BYTES + payload_bytes
+    return total * 8.0 / PHY_RATE_BPS

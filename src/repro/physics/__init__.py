@@ -1,0 +1,45 @@
+"""Physical substrate: psychrometrics, thermal zones, moisture, CO2, weather.
+
+This package stands in for the BubbleZERO laboratory itself — the two
+shipping containers, their envelope, the tropical Singapore air outside —
+so that the paper's control and networking algorithms can be exercised
+against the same observable dynamics the deployment saw.
+"""
+
+from repro.physics.psychrometrics import (
+    MAGNUS_A,
+    MAGNUS_B,
+    dew_point,
+    relative_humidity_from_dew_point,
+    saturation_vapor_pressure,
+    vapor_pressure,
+    humidity_ratio_from_dew_point,
+    dew_point_from_humidity_ratio,
+    humidity_ratio,
+    moist_air_enthalpy,
+)
+from repro.physics.exergy import carnot_cop, cooling_exergy, exergy_of_heat
+from repro.physics.room import Room, Subspace, RoomGeometry
+from repro.physics.weather import WeatherModel, TropicalWeather, ConstantWeather
+
+__all__ = [
+    "MAGNUS_A",
+    "MAGNUS_B",
+    "dew_point",
+    "relative_humidity_from_dew_point",
+    "saturation_vapor_pressure",
+    "vapor_pressure",
+    "humidity_ratio_from_dew_point",
+    "dew_point_from_humidity_ratio",
+    "humidity_ratio",
+    "moist_air_enthalpy",
+    "carnot_cop",
+    "cooling_exergy",
+    "exergy_of_heat",
+    "Room",
+    "Subspace",
+    "RoomGeometry",
+    "WeatherModel",
+    "TropicalWeather",
+    "ConstantWeather",
+]

@@ -1,0 +1,74 @@
+"""Exergy accounting — the theory BubbleZERO is built on (paper §II).
+
+The exergy of a heat flux Q moved from a room at reference temperature
+T0, relative to its working temperature T, is Ex = Q (1 - T/T0).  A
+smaller temperature gradient between working and reference temperature
+means less exergy destruction, hence less electrical work for the same
+heat: this is why an 18 degC chilled-water loop beats an 8 degC air loop.
+
+Temperatures here are in Kelvin where the name says so; helper
+converters accept Celsius for convenience.
+"""
+
+from __future__ import annotations
+
+KELVIN_OFFSET = 273.15
+
+
+class ExergyError(ValueError):
+    """Raised for non-physical temperature inputs."""
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert Celsius to Kelvin, rejecting sub-absolute-zero inputs."""
+    temp_k = temp_c + KELVIN_OFFSET
+    if temp_k <= 0:
+        raise ExergyError(f"temperature below absolute zero: {temp_c} degC")
+    return temp_k
+
+
+def exergy_of_heat(heat_w: float, working_temp_k: float,
+                   reference_temp_k: float) -> float:
+    """Exergy flux of heat ``heat_w`` at ``working_temp_k`` against a
+    reference (room) temperature, W.  Ex = Q (1 - T/T0) from paper §II.
+    """
+    if working_temp_k <= 0 or reference_temp_k <= 0:
+        raise ExergyError("temperatures must be positive Kelvin")
+    return heat_w * (1.0 - working_temp_k / reference_temp_k)
+
+
+def cooling_exergy(heat_w: float, working_temp_c: float,
+                   room_temp_c: float) -> float:
+    """Magnitude of exergy required to extract ``heat_w`` of heat using a
+    working medium at ``working_temp_c`` from a room at ``room_temp_c``.
+
+    Lower working temperature (larger gradient) => more exergy => more
+    electrical work.  This is the quantity the low-exergy design
+    minimises by using 18 degC water instead of 8 degC air.
+    """
+    working_k = celsius_to_kelvin(working_temp_c)
+    room_k = celsius_to_kelvin(room_temp_c)
+    return abs(exergy_of_heat(heat_w, working_k, room_k))
+
+
+def carnot_cop(cold_temp_k: float, hot_temp_k: float) -> float:
+    """Ideal (Carnot) coefficient of performance of a chiller moving heat
+    from ``cold_temp_k`` to ``hot_temp_k``: T_c / (T_h - T_c).
+
+    This is the thermodynamic ceiling every real chiller is a fraction
+    of; the low-exergy benefit of raising the chilled-water temperature
+    is visible directly in this expression.
+    """
+    if cold_temp_k <= 0 or hot_temp_k <= 0:
+        raise ExergyError("temperatures must be positive Kelvin")
+    if hot_temp_k <= cold_temp_k:
+        raise ExergyError(
+            f"heat rejection temperature ({hot_temp_k} K) must exceed "
+            f"cold-side temperature ({cold_temp_k} K)")
+    return cold_temp_k / (hot_temp_k - cold_temp_k)
+
+
+def carnot_cop_celsius(cold_temp_c: float, hot_temp_c: float) -> float:
+    """Carnot COP with Celsius inputs."""
+    return carnot_cop(celsius_to_kelvin(cold_temp_c),
+                      celsius_to_kelvin(hot_temp_c))

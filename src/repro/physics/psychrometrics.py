@@ -1,0 +1,177 @@
+"""Psychrometric relations used throughout BubbleZERO.
+
+The paper computes the dew point with the Magnus approximation
+
+    T_dew(T, H) = a * [ln(H/100) + bT/(a+T)] / [b - ln(H/100) - bT/(a+T)]
+
+with a = 243.12 and b = 17.62 (paper §III-B).  We implement exactly that
+formula plus its inverse and the standard moist-air relations (saturation
+vapour pressure, humidity ratio, enthalpy) the airbox coil model and the
+COP accounting need.
+
+All temperatures are in degrees Celsius unless a name says otherwise;
+relative humidity is in percent (0–100]; pressures in Pa; humidity ratio
+in kg water vapour per kg dry air.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Magnus coefficients, as given in the paper.
+MAGNUS_A = 243.12  # degC
+MAGNUS_B = 17.62   # dimensionless
+
+# Standard atmospheric pressure (Singapore is at sea level).
+ATM_PRESSURE = 101325.0  # Pa
+
+# Specific heats and latent heat for moist-air enthalpy (J/kg/K, J/kg).
+CP_DRY_AIR = 1006.0
+CP_WATER_VAPOR = 1860.0
+LATENT_HEAT_VAPORIZATION = 2.501e6
+
+# Ratio of molecular weights (water / dry air).
+EPSILON = 0.62198
+
+_MIN_RH = 1e-6   # RH of exactly 0 is outside the Magnus formula's domain
+
+
+class PsychrometricsError(ValueError):
+    """Raised for physically meaningless inputs (e.g. RH > 100%)."""
+
+
+def _gamma(temp_c: float, rh_percent: float) -> float:
+    """Magnus auxiliary term ln(H/100) + bT/(a+T)."""
+    if rh_percent <= 0:
+        raise PsychrometricsError(f"relative humidity must be > 0, got {rh_percent}")
+    if rh_percent > 100.0 + 1e-9:
+        raise PsychrometricsError(f"relative humidity must be <= 100, got {rh_percent}")
+    if temp_c <= -MAGNUS_A:
+        raise PsychrometricsError(
+            f"temperature {temp_c} degC outside Magnus formula domain")
+    rh = min(rh_percent, 100.0)
+    return math.log(rh / 100.0) + (MAGNUS_B * temp_c) / (MAGNUS_A + temp_c)
+
+
+def dew_point(temp_c: float, rh_percent: float) -> float:
+    """Dew point of air at ``temp_c`` degC and ``rh_percent`` %RH.
+
+    This is the exact formula from paper §III-B.  At 100 %RH the dew
+    point equals the dry-bulb temperature.
+
+    >>> round(dew_point(25.0, 100.0), 6)
+    25.0
+    >>> dew_point(25.0, 50.0) < 25.0
+    True
+    """
+    gamma = _gamma(temp_c, rh_percent)
+    return MAGNUS_A * gamma / (MAGNUS_B - gamma)
+
+
+def relative_humidity_from_dew_point(temp_c: float, dew_c: float) -> float:
+    """Invert :func:`dew_point`: %RH such that dew_point(T, RH) == dew_c.
+
+    >>> rh = relative_humidity_from_dew_point(25.0, 18.0)
+    >>> round(dew_point(25.0, rh), 6)
+    18.0
+    """
+    if dew_c > temp_c + 1e-9:
+        raise PsychrometricsError(
+            f"dew point {dew_c} cannot exceed dry-bulb {temp_c}")
+    dew_c = min(dew_c, temp_c)
+    # gamma_dew = b*Td/(a+Td); solve ln(H/100) = gamma_dew - b*T/(a+T)
+    gamma_dew = MAGNUS_B * dew_c / (MAGNUS_A + dew_c)
+    log_h = gamma_dew - (MAGNUS_B * temp_c) / (MAGNUS_A + temp_c)
+    rh = 100.0 * math.exp(log_h)
+    return max(_MIN_RH, min(rh, 100.0))
+
+
+def saturation_vapor_pressure(temp_c: float) -> float:
+    """Saturation vapour pressure over liquid water, Pa (Magnus form).
+
+    Uses the same (a, b) coefficients as the paper's dew-point formula so
+    the two are mutually consistent: 611.2 * exp(bT / (a+T)).
+    """
+    if temp_c <= -MAGNUS_A:
+        raise PsychrometricsError(
+            f"temperature {temp_c} degC outside Magnus formula domain")
+    return 611.2 * math.exp(MAGNUS_B * temp_c / (MAGNUS_A + temp_c))
+
+
+def vapor_pressure(temp_c: float, rh_percent: float) -> float:
+    """Partial pressure of water vapour, Pa."""
+    if rh_percent < 0 or rh_percent > 100.0 + 1e-9:
+        raise PsychrometricsError(f"relative humidity out of range: {rh_percent}")
+    return saturation_vapor_pressure(temp_c) * min(rh_percent, 100.0) / 100.0
+
+
+def humidity_ratio(temp_c: float, rh_percent: float,
+                   pressure_pa: float = ATM_PRESSURE) -> float:
+    """Humidity ratio w (kg vapour / kg dry air) at T, RH."""
+    p_vap = vapor_pressure(temp_c, rh_percent)
+    if p_vap >= pressure_pa:
+        raise PsychrometricsError("vapour pressure exceeds total pressure")
+    return EPSILON * p_vap / (pressure_pa - p_vap)
+
+
+def humidity_ratio_from_dew_point(dew_c: float,
+                                  pressure_pa: float = ATM_PRESSURE) -> float:
+    """Humidity ratio of air whose dew point is ``dew_c``.
+
+    The dew point uniquely determines the vapour partial pressure (it is
+    the temperature at which that pressure saturates), hence w.
+    """
+    p_vap = saturation_vapor_pressure(dew_c)
+    if p_vap >= pressure_pa:
+        raise PsychrometricsError("vapour pressure exceeds total pressure")
+    return EPSILON * p_vap / (pressure_pa - p_vap)
+
+
+def dew_point_from_humidity_ratio(w: float,
+                                  pressure_pa: float = ATM_PRESSURE) -> float:
+    """Invert :func:`humidity_ratio_from_dew_point`.
+
+    >>> w = humidity_ratio_from_dew_point(18.0)
+    >>> round(dew_point_from_humidity_ratio(w), 6)
+    18.0
+    """
+    if w <= 0:
+        raise PsychrometricsError(f"humidity ratio must be positive, got {w}")
+    p_vap = pressure_pa * w / (EPSILON + w)
+    # Invert p = 611.2 * exp(b*T/(a+T))  =>  T = a*ln(p/611.2)/(b - ln(p/611.2))
+    log_ratio = math.log(p_vap / 611.2)
+    if log_ratio >= MAGNUS_B:
+        raise PsychrometricsError(f"humidity ratio {w} out of Magnus domain")
+    return MAGNUS_A * log_ratio / (MAGNUS_B - log_ratio)
+
+
+def relative_humidity_from_ratio(temp_c: float, w: float,
+                                 pressure_pa: float = ATM_PRESSURE) -> float:
+    """%RH of air at ``temp_c`` with humidity ratio ``w``."""
+    if w < 0:
+        raise PsychrometricsError(f"humidity ratio must be >= 0, got {w}")
+    if w == 0:
+        return _MIN_RH
+    p_vap = pressure_pa * w / (EPSILON + w)
+    rh = 100.0 * p_vap / saturation_vapor_pressure(temp_c)
+    return max(_MIN_RH, min(rh, 100.0))
+
+
+def moist_air_enthalpy(temp_c: float, w: float) -> float:
+    """Specific enthalpy of moist air, J per kg of dry air.
+
+    h = cp_a * T + w * (L + cp_v * T), the standard psychrometric form
+    with the 0 degC dry-air reference.
+    """
+    if w < 0:
+        raise PsychrometricsError(f"humidity ratio must be >= 0, got {w}")
+    return CP_DRY_AIR * temp_c + w * (LATENT_HEAT_VAPORIZATION
+                                      + CP_WATER_VAPOR * temp_c)
+
+
+def condensation_occurs(surface_temp_c: float, air_temp_c: float,
+                        air_rh_percent: float) -> bool:
+    """True when a surface at ``surface_temp_c`` would condense moisture
+    out of air at the given state — the central hazard the radiant
+    cooling module must avoid (paper §III-B)."""
+    return surface_temp_c < dew_point(air_temp_c, air_rh_percent)

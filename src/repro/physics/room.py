@@ -1,0 +1,281 @@
+"""Multi-subspace thermal / moisture / CO2 model of the BubbleZERO lab.
+
+The laboratory is a 60 m^3 container office (6 m x 5 m x 2 m) organised
+into four equal subspaces (paper Fig. 2), each served by one airbox +
+CO2flap pair and sharing two radiant ceiling panels.  We model it as a
+lumped-capacitance RC network:
+
+* one air/furnishing thermal node per subspace, coupled to (i) adjacent
+  subspaces (conduction + air mixing), (ii) the outdoor environment
+  through the envelope, and (iii) the radiant panels and ventilation air;
+* one moisture node per subspace (humidity ratio of the air volume);
+* one CO2 node per subspace (well-mixed concentration).
+
+Door/window events add a temporary bulk air-exchange path with outdoors,
+weighted per subspace by proximity to the opening (the door is in
+subspace 1, nearest subspace 2 — paper SectionV-A).
+
+The model is integrated with explicit Euler.  All time constants are
+minutes, so the default 1 s step is comfortably stable; the step
+subdivides automatically if a larger dt is requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.physics.psychrometrics import (
+    dew_point_from_humidity_ratio,
+    humidity_ratio_from_dew_point,
+    relative_humidity_from_ratio,
+)
+from repro.physics.weather import OutdoorState
+
+AIR_DENSITY = 1.2        # kg/m^3
+AIR_CP = 1006.0          # J/kg/K
+LATENT_HEAT = 2.45e6     # J/kg at room temperature
+
+# Occupant loads (seated office work, ASHRAE-typical).
+OCCUPANT_SENSIBLE_W = 70.0
+OCCUPANT_LATENT_KGS = 1.9e-5    # ~68 g/h of water vapour
+OCCUPANT_CO2_M3S = 5.0e-6       # ~0.005 L/s of CO2 per person
+
+
+@dataclass(frozen=True)
+class RoomGeometry:
+    """Physical dimensions of the laboratory (paper §II)."""
+
+    length_m: float = 6.0
+    width_m: float = 5.0
+    height_m: float = 2.0
+    subspace_count: int = 4
+
+    @property
+    def volume_m3(self) -> float:
+        return self.length_m * self.width_m * self.height_m
+
+    @property
+    def subspace_volume_m3(self) -> float:
+        return self.volume_m3 / self.subspace_count
+
+
+@dataclass(frozen=True)
+class RoomParameters:
+    """Calibrated lumped parameters (see DESIGN.md §4).
+
+    ``capacity_j_per_k`` is the *effective* per-subspace heat capacity:
+    the air itself plus the thermally-fast furnishing mass that moves
+    with it on the half-hour timescale of the paper's experiments.
+    """
+
+    capacity_j_per_k: float = 1.1e5       # J/K per subspace
+    envelope_ua_w_per_k: float = 58.0     # W/K per subspace (insulated facade)
+    coupling_ua_w_per_k: float = 55.0     # W/K between adjacent subspaces
+    mixing_flow_m3s: float = 0.012        # bulk air exchange between adjacents
+    infiltration_ach: float = 0.02        # the lab is a sealed container
+    door_exchange_m3s: float = 0.30       # bulk flow when the door is open
+    moisture_buffer_factor: float = 1.2   # hygroscopic mass slows dw/dt
+
+
+# 2 x 2 arrangement: subspaces 0,1 on the door side, 2,3 at the back.
+#      [0][1]
+#      [2][3]
+ADJACENCY: Tuple[Tuple[int, int], ...] = ((0, 1), (0, 2), (1, 3), (2, 3))
+
+# Share of a door/window opening's air exchange seen by each subspace.
+# The door sits in subspace 1 of the paper (our index 0), closest to
+# subspace 2 (our index 1) — paper §V-A.  The window is on the opposite
+# facade, so window events disturb the back subspaces most.
+DOOR_WEIGHTS: Tuple[float, ...] = (0.55, 0.30, 0.09, 0.06)
+WINDOW_WEIGHTS: Tuple[float, ...] = (0.09, 0.06, 0.55, 0.30)
+
+
+@dataclass
+class SubspaceInputs:
+    """Per-step boundary inputs for one subspace."""
+
+    panel_heat_w: float = 0.0           # heat *extracted* by radiant panel (>= 0)
+    vent_flow_m3s: float = 0.0          # supply air flow (balanced by exhaust)
+    vent_supply_temp_c: float = 25.0    # supply air dry bulb
+    vent_supply_w: float = 0.010        # supply air humidity ratio
+    occupants: float = 0.0
+    equipment_w: float = 40.0           # standing electronics load
+    door_open_fraction: float = 0.0     # 0..1 of the door-exchange path
+
+
+@dataclass
+class SubspaceState:
+    """Instantaneous air state of one subspace."""
+
+    temp_c: float
+    humidity_ratio: float
+    co2_ppm: float
+
+    @property
+    def dew_point_c(self) -> float:
+        return dew_point_from_humidity_ratio(self.humidity_ratio)
+
+    def relative_humidity(self) -> float:
+        return relative_humidity_from_ratio(self.temp_c, self.humidity_ratio)
+
+
+class Subspace:
+    """One quarter of the laboratory: state plus its volume."""
+
+    def __init__(self, index: int, volume_m3: float,
+                 state: SubspaceState) -> None:
+        self.index = index
+        self.volume_m3 = volume_m3
+        self.state = state
+
+    @property
+    def air_mass_kg(self) -> float:
+        return self.volume_m3 * AIR_DENSITY
+
+
+class Room:
+    """The four-subspace laboratory model.
+
+    Parameters
+    ----------
+    geometry, params:
+        physical configuration; defaults reproduce the paper's lab.
+    initial_temp_c, initial_dew_c, initial_co2_ppm:
+        uniform initial indoor state.  The paper's trial starts with the
+        room in equilibrium with outdoors (28.9 degC / 27.4 degC dew).
+    """
+
+    def __init__(self,
+                 geometry: Optional[RoomGeometry] = None,
+                 params: Optional[RoomParameters] = None,
+                 initial_temp_c: float = 28.9,
+                 initial_dew_c: float = 27.4,
+                 initial_co2_ppm: float = 450.0) -> None:
+        self.geometry = geometry or RoomGeometry()
+        self.params = params or RoomParameters()
+        if initial_dew_c > initial_temp_c:
+            raise ValueError("initial dew point cannot exceed temperature")
+        w0 = humidity_ratio_from_dew_point(initial_dew_c)
+        self.subspaces: List[Subspace] = [
+            Subspace(i, self.geometry.subspace_volume_m3,
+                     SubspaceState(initial_temp_c, w0, initial_co2_ppm))
+            for i in range(self.geometry.subspace_count)
+        ]
+        self._max_euler_dt = 1.0
+        self.condensation_events = 0
+
+    # ------------------------------------------------------------------
+    # Observation helpers
+    # ------------------------------------------------------------------
+    def state_of(self, index: int) -> SubspaceState:
+        return self.subspaces[index].state
+
+    def mean_temp_c(self) -> float:
+        return sum(s.state.temp_c for s in self.subspaces) / len(self.subspaces)
+
+    def mean_humidity_ratio(self) -> float:
+        return (sum(s.state.humidity_ratio for s in self.subspaces)
+                / len(self.subspaces))
+
+    def mean_dew_point_c(self) -> float:
+        return dew_point_from_humidity_ratio(self.mean_humidity_ratio())
+
+    def mean_co2_ppm(self) -> float:
+        return sum(s.state.co2_ppm for s in self.subspaces) / len(self.subspaces)
+
+    # ------------------------------------------------------------------
+    # Integration
+    # ------------------------------------------------------------------
+    def step(self, dt: float, outdoor: OutdoorState,
+             inputs: Sequence[SubspaceInputs]) -> None:
+        """Advance the room state by ``dt`` seconds.
+
+        ``inputs`` must provide one :class:`SubspaceInputs` per subspace.
+        Larger ``dt`` values are internally subdivided to the stable
+        Euler step.
+        """
+        if len(inputs) != len(self.subspaces):
+            raise ValueError(
+                f"expected {len(self.subspaces)} subspace inputs, "
+                f"got {len(inputs)}")
+        remaining = float(dt)
+        while remaining > 1e-12:
+            sub_dt = min(self._max_euler_dt, remaining)
+            self._euler_step(sub_dt, outdoor, inputs)
+            remaining -= sub_dt
+
+    def _euler_step(self, dt: float, outdoor: OutdoorState,
+                    inputs: Sequence[SubspaceInputs]) -> None:
+        params = self.params
+        outdoor_w = outdoor.humidity_ratio
+        n = len(self.subspaces)
+        d_temp = [0.0] * n
+        d_w = [0.0] * n
+        d_co2 = [0.0] * n
+
+        # Inter-subspace coupling (conduction + bulk mixing), symmetric.
+        for i, j in ADJACENCY:
+            si, sj = self.subspaces[i].state, self.subspaces[j].state
+            q_cond = params.coupling_ua_w_per_k * (sj.temp_c - si.temp_c)
+            m_mix = params.mixing_flow_m3s * AIR_DENSITY
+            q_mix = m_mix * AIR_CP * (sj.temp_c - si.temp_c)
+            d_temp[i] += (q_cond + q_mix)
+            d_temp[j] -= (q_cond + q_mix)
+            w_flux = m_mix * (sj.humidity_ratio - si.humidity_ratio)
+            d_w[i] += w_flux
+            d_w[j] -= w_flux
+            c_flux = params.mixing_flow_m3s * (sj.co2_ppm - si.co2_ppm)
+            d_co2[i] += c_flux
+            d_co2[j] -= c_flux
+
+        for i, subspace in enumerate(self.subspaces):
+            state = subspace.state
+            inp = inputs[i]
+            air_mass = subspace.air_mass_kg
+
+            # --- sensible heat balance (W) ---
+            q = d_temp[i]
+            q += params.envelope_ua_w_per_k * (outdoor.temp_c - state.temp_c)
+            q += inp.occupants * OCCUPANT_SENSIBLE_W + inp.equipment_w
+            q -= inp.panel_heat_w
+            m_vent = inp.vent_flow_m3s * AIR_DENSITY
+            q += m_vent * AIR_CP * (inp.vent_supply_temp_c - state.temp_c)
+            # Supply air displaces room air out through the CO2flap, so
+            # the ventilation term above already closes its own mass
+            # balance; only infiltration and door openings exchange raw
+            # outdoor air.
+            infil_flow = (params.infiltration_ach / 3600.0) * subspace.volume_m3
+            door_flow = inp.door_open_fraction * params.door_exchange_m3s
+            m_exch = (infil_flow + door_flow) * AIR_DENSITY
+            q += m_exch * AIR_CP * (outdoor.temp_c - state.temp_c)
+            new_temp = state.temp_c + dt * q / params.capacity_j_per_k
+
+            # --- moisture balance (kg water / s) ---
+            water_mass = (air_mass * params.moisture_buffer_factor)
+            mw = d_w[i] * params.moisture_buffer_factor  # mixing acts on buffer too
+            mw += m_vent * (inp.vent_supply_w - state.humidity_ratio)
+            mw += m_exch * (outdoor_w - state.humidity_ratio)
+            mw += inp.occupants * OCCUPANT_LATENT_KGS
+            new_w = state.humidity_ratio + dt * mw / water_mass
+            new_w = max(1e-5, new_w)
+
+            # --- CO2 balance (ppm * m^3 / s) ---
+            c = d_co2[i]
+            c += inp.vent_flow_m3s * (outdoor.co2_ppm - state.co2_ppm)
+            c += (infil_flow + door_flow) * (outdoor.co2_ppm - state.co2_ppm)
+            c += inp.occupants * OCCUPANT_CO2_M3S * 1e6
+            new_co2 = state.co2_ppm + dt * c / subspace.volume_m3
+            new_co2 = max(outdoor.co2_ppm * 0.5, new_co2)
+
+            subspace.state = SubspaceState(new_temp, new_w, new_co2)
+
+    # ------------------------------------------------------------------
+    def record_condensation(self) -> None:
+        """Count a condensation incident (panel surface below dew point).
+
+        The hydronics layer calls this when the mixed-water control ever
+        lets the panel surface cross the local dew point; integration
+        tests assert it stays at zero.
+        """
+        self.condensation_events += 1

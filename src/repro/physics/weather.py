@@ -1,0 +1,97 @@
+"""Outdoor boundary conditions: tropical Singapore weather.
+
+The paper's experiments ran against an outdoor state of 28.9 degC dry
+bulb and 27.4 degC dew point.  ``ConstantWeather`` pins exactly that
+operating point; ``TropicalWeather`` adds a gentle diurnal cycle plus
+stochastic fluctuation for the longer example scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physics.psychrometrics import (
+    dew_point_from_humidity_ratio,
+    humidity_ratio_from_dew_point,
+)
+
+OUTDOOR_CO2_PPM = 400.0
+
+
+@dataclass(frozen=True)
+class OutdoorState:
+    """Instantaneous outdoor air condition."""
+
+    temp_c: float
+    dew_point_c: float
+    co2_ppm: float = OUTDOOR_CO2_PPM
+
+    @property
+    def humidity_ratio(self) -> float:
+        """kg vapour per kg dry air implied by the dew point."""
+        return humidity_ratio_from_dew_point(self.dew_point_c)
+
+
+class WeatherModel:
+    """Interface: map simulation time (s) to an :class:`OutdoorState`."""
+
+    def state_at(self, time_s: float) -> OutdoorState:
+        raise NotImplementedError
+
+
+class ConstantWeather(WeatherModel):
+    """Fixed outdoor condition — the paper's experimental afternoon."""
+
+    def __init__(self, temp_c: float = 28.9, dew_point_c: float = 27.4,
+                 co2_ppm: float = OUTDOOR_CO2_PPM) -> None:
+        if dew_point_c > temp_c:
+            raise ValueError(
+                f"outdoor dew point {dew_point_c} exceeds dry bulb {temp_c}")
+        self._state = OutdoorState(temp_c, dew_point_c, co2_ppm)
+
+    def state_at(self, time_s: float) -> OutdoorState:
+        return self._state
+
+
+class TropicalWeather(WeatherModel):
+    """Diurnal tropical climate: warm, humid, small daily swing.
+
+    Temperature follows a sinusoid peaking mid-afternoon (~15:00); the
+    dew point is nearly flat (tropical moisture is persistent) with a
+    slight dip at the temperature peak.  Optional band-limited noise is
+    deterministic in ``seed``.
+    """
+
+    def __init__(self, mean_temp_c: float = 28.0, swing_c: float = 2.5,
+                 mean_dew_c: float = 25.5, dew_swing_c: float = 0.8,
+                 peak_hour: float = 15.0, noise_c: float = 0.15,
+                 seed: int = 7) -> None:
+        if mean_dew_c > mean_temp_c:
+            raise ValueError("mean dew point cannot exceed mean temperature")
+        self.mean_temp_c = mean_temp_c
+        self.swing_c = swing_c
+        self.mean_dew_c = mean_dew_c
+        self.dew_swing_c = dew_swing_c
+        self.peak_hour = peak_hour
+        self.noise_c = noise_c
+        # Precompute a day's worth of smooth noise on a 5-minute grid.
+        rng = np.random.default_rng(seed)
+        raw = rng.normal(0.0, 1.0, 289)
+        kernel = np.ones(7) / 7.0
+        self._noise = np.convolve(raw, kernel, mode="same")
+
+    def _noise_at(self, time_s: float) -> float:
+        idx = int((time_s % 86400.0) / 300.0) % len(self._noise)
+        return float(self._noise[idx]) * self.noise_c
+
+    def state_at(self, time_s: float) -> OutdoorState:
+        hour = (time_s % 86400.0) / 3600.0
+        phase = 2.0 * math.pi * (hour - self.peak_hour) / 24.0
+        temp = self.mean_temp_c + self.swing_c * math.cos(phase)
+        dew = self.mean_dew_c - self.dew_swing_c * math.cos(phase)
+        temp += self._noise_at(time_s)
+        dew = min(dew, temp - 0.1)
+        return OutdoorState(temp, dew)

@@ -1,0 +1,27 @@
+"""Discrete-event simulation engine underlying every BubbleZERO substrate.
+
+The engine is deliberately small and deterministic: a binary-heap event
+queue keyed on ``(time, priority, sequence)``, a simulation clock, seeded
+random-number streams, and a trace recorder.  Both the second-scale HVAC
+physics and the millisecond-scale 802.15.4 MAC run on the same queue, so
+control decisions observe exactly the sensor values the network delivered.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.clock import SimClock, format_clock
+from repro.sim.process import PeriodicTask, Process
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder, TraceSeries
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimClock",
+    "format_clock",
+    "PeriodicTask",
+    "Process",
+    "RngRegistry",
+    "TraceRecorder",
+    "TraceSeries",
+]

@@ -1,0 +1,114 @@
+"""Trace recording: named time series collected during a run.
+
+The paper's evaluation is a set of logged time series (temperatures, dew
+points, send periods) analysed offline.  ``TraceRecorder`` plays the role
+of the TelosB sniffer + flash logs: components append ``(time, value)``
+samples to named series, and the analysis layer reads them back as numpy
+arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+class TraceSeries:
+    """One append-only time series of scalar samples."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: non-monotonic time "
+                f"{time} after {self._times[-1]}")
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent ``(time, value)`` sample, or None if empty."""
+        if not self._times:
+            return None
+        return self._times[-1], self._values[-1]
+
+    def value_at(self, time: float) -> float:
+        """Zero-order-hold lookup of the series value at ``time``."""
+        if not self._times:
+            raise LookupError(f"series {self.name!r} is empty")
+        idx = int(np.searchsorted(self._times, time, side="right")) - 1
+        if idx < 0:
+            raise LookupError(
+                f"series {self.name!r} has no sample at or before {time}")
+        return self._values[idx]
+
+    def window(self, start: float, end: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples with ``start <= t <= end`` as a pair of arrays."""
+        times = self.times()
+        values = self.values()
+        mask = (times >= start) & (times <= end)
+        return times[mask], values[mask]
+
+
+class TraceRecorder:
+    """Registry of named :class:`TraceSeries`."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TraceSeries] = {}
+
+    def series(self, name: str) -> TraceSeries:
+        """Return the series called ``name``, creating it if needed."""
+        if name not in self._series:
+            self._series[name] = TraceSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append one sample to the named series."""
+        self.series(name).append(time, value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def matching(self, prefix: str) -> List[TraceSeries]:
+        """All series whose name starts with ``prefix``."""
+        return [self._series[name] for name in self.names()
+                if name.startswith(prefix)]
+
+    def summary(self) -> Dict[str, int]:
+        """Map of series name to sample count (for diagnostics)."""
+        return {name: len(series) for name, series in self._series.items()}
+
+
+def resample(times: Iterable[float], values: Iterable[float],
+             grid: np.ndarray) -> np.ndarray:
+    """Zero-order-hold resample of an irregular series onto ``grid``.
+
+    Grid points that precede the first sample take the first value; this
+    mirrors how the paper's offline analysis treats sensor logs whose
+    first report lands slightly after the experiment start.
+    """
+    times_arr = np.asarray(list(times), dtype=float)
+    values_arr = np.asarray(list(values), dtype=float)
+    if times_arr.size == 0:
+        raise ValueError("cannot resample an empty series")
+    idx = np.searchsorted(times_arr, grid, side="right") - 1
+    idx = np.clip(idx, 0, times_arr.size - 1)
+    return values_arr[idx]

@@ -1,0 +1,36 @@
+"""Workloads: experiment scripts, disturbance events, occupancy."""
+
+from repro.workloads.events import (
+    DoorEvent,
+    EventScript,
+    OccupancyChange,
+    WindowEvent,
+    paper_phase_two_events,
+    periodic_door_events,
+    periodic_disturbance_events,
+)
+from repro.workloads.faults import (
+    ChannelJam,
+    FaultScript,
+    NodeCrash,
+    SensorDrift,
+    SensorStuck,
+)
+from repro.workloads.occupancy import OccupancySchedule, office_day_schedule
+
+__all__ = [
+    "DoorEvent",
+    "WindowEvent",
+    "OccupancyChange",
+    "EventScript",
+    "paper_phase_two_events",
+    "periodic_door_events",
+    "periodic_disturbance_events",
+    "ChannelJam",
+    "FaultScript",
+    "NodeCrash",
+    "SensorDrift",
+    "SensorStuck",
+    "OccupancySchedule",
+    "office_day_schedule",
+]

@@ -1,0 +1,144 @@
+"""Disturbance events: door / window openings, occupancy changes.
+
+The paper's §V-A experiment opens the door twice (15 s at 14:05, 2 min
+at 14:25); §V-C "trigger[s] external events, e.g., door opening and
+window opening, about every 30 minutes" for five hours.  These scripts
+encode both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.sim.clock import parse_clock
+
+
+@dataclass(frozen=True)
+class DoorEvent:
+    """Door opens at ``start`` for ``duration`` seconds."""
+
+    start: float
+    duration: float
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("event duration must be positive")
+        if not (0 < self.fraction <= 1):
+            raise ValueError("open fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class WindowEvent:
+    """Window opens at ``start`` for ``duration`` seconds."""
+
+    start: float
+    duration: float
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("event duration must be positive")
+        if not (0 < self.fraction <= 1):
+            raise ValueError("open fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class OccupancyChange:
+    """At ``time``, subspace ``subspace`` holds ``occupants`` people."""
+
+    time: float
+    subspace: int
+    occupants: float
+
+    def __post_init__(self) -> None:
+        if self.occupants < 0:
+            raise ValueError("occupants cannot be negative")
+
+
+Event = Union[DoorEvent, WindowEvent, OccupancyChange]
+
+
+class EventScript:
+    """An ordered collection of disturbance events."""
+
+    def __init__(self, events: Sequence[Event] = ()) -> None:
+        self.events: List[Event] = list(events)
+
+    def add(self, event: Event) -> "EventScript":
+        self.events.append(event)
+        return self
+
+    def door_events(self) -> List[DoorEvent]:
+        return [e for e in self.events if isinstance(e, DoorEvent)]
+
+    def window_events(self) -> List[WindowEvent]:
+        return [e for e in self.events if isinstance(e, WindowEvent)]
+
+    def occupancy_changes(self) -> List[OccupancyChange]:
+        return [e for e in self.events if isinstance(e, OccupancyChange)]
+
+    def earliest(self) -> float:
+        if not self.events:
+            raise ValueError("script is empty")
+        return min(_event_start(e) for e in self.events)
+
+
+def _event_start(event: Event) -> float:
+    if isinstance(event, OccupancyChange):
+        return event.time
+    return event.start
+
+
+def paper_phase_two_events() -> EventScript:
+    """The paper's §V-A disturbances, on the paper's wall clock.
+
+    * 14:05 — door open 15 s (occupant peeks in, does not enter);
+    * 14:25 — door open 2 minutes.
+    """
+    return EventScript([
+        DoorEvent(start=parse_clock("14:05"), duration=15.0),
+        DoorEvent(start=parse_clock("14:25"), duration=120.0),
+    ])
+
+
+def periodic_door_events(start: float, horizon_s: float,
+                         every_s: float = 30 * 60.0,
+                         duration_s: float = 30.0) -> EventScript:
+    """Door openings "about every 30 minutes" (paper §V-C).  The first
+    event fires one period after ``start``."""
+    if every_s <= 0 or horizon_s <= 0:
+        raise ValueError("period and horizon must be positive")
+    script = EventScript()
+    t = start + every_s
+    while t < start + horizon_s:
+        script.add(DoorEvent(start=t, duration=duration_s))
+        t += every_s
+    return script
+
+
+def periodic_disturbance_events(start: float, horizon_s: float,
+                                every_s: float = 30 * 60.0,
+                                duration_s: float = 30.0) -> EventScript:
+    """Alternating door and window openings, "e.g., door opening and
+    window opening, about every 30 minutes" (paper §V-C).
+
+    Alternation matters for the networking experiments: the door
+    disturbs the front subspaces and the window the back ones, so every
+    bt-device periodically observes genuine transitions and learns a
+    well-separated variance threshold.
+    """
+    if every_s <= 0 or horizon_s <= 0:
+        raise ValueError("period and horizon must be positive")
+    script = EventScript()
+    t = start + every_s
+    use_door = True
+    while t < start + horizon_s:
+        if use_door:
+            script.add(DoorEvent(start=t, duration=duration_s))
+        else:
+            script.add(WindowEvent(start=t, duration=duration_s))
+        use_door = not use_door
+        t += every_s
+    return script

@@ -1,0 +1,144 @@
+"""Fault injection: the failures a deployed system must survive.
+
+The paper motivates the wireless design partly by maintainability ("if
+… existing devices need to be repaired"), which presumes devices *do*
+fail.  This module scripts the classic failure modes against a running
+:class:`~repro.core.system.BubbleZero`:
+
+* **SensorStuck / SensorDrift** — a sensor reports a frozen or biased
+  value from some instant on;
+* **NodeCrash** — a battery node dies (flat cells, bricked flash) and
+  stops sampling and transmitting;
+* **ChannelJam** — a foreign 2.4 GHz interferer occupies the channel at
+  a duty cycle for an interval (the microwave-oven scenario).
+
+Robustness comes from the architecture the paper chose: type-addressed
+broadcast with consumer-side averaging means losing one supplier
+degrades an estimate instead of severing a point-to-point link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.net.packet import DataType, Packet
+from repro.sim.engine import PRIORITY_NETWORK
+
+
+@dataclass(frozen=True)
+class SensorStuck:
+    """From ``time``, device ``device_id``'s sensor reads ``value``."""
+
+    time: float
+    device_id: str
+    value: float
+
+
+@dataclass(frozen=True)
+class SensorDrift:
+    """From ``time``, the sensor gains a calibration error ``offset``."""
+
+    time: float
+    device_id: str
+    offset: float
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """At ``time``, bt-device ``device_id`` stops forever."""
+
+    time: float
+    device_id: str
+
+
+@dataclass(frozen=True)
+class ChannelJam:
+    """Interference occupying the channel between ``start`` and ``end``.
+
+    ``duty`` is the fraction of airtime the jammer holds (a Wi-Fi
+    neighbour is ~0.2; a misbehaving transmitter ~0.9).
+    """
+
+    start: float
+    end: float
+    duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("jam interval must have positive length")
+        if not (0.0 < self.duty <= 1.0):
+            raise ValueError("duty must be in (0, 1]")
+
+
+Fault = Union[SensorStuck, SensorDrift, NodeCrash, ChannelJam]
+
+
+class FaultScript:
+    """An ordered set of faults, schedulable onto a system."""
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        self.faults: List[Fault] = list(faults)
+
+    def add(self, fault: Fault) -> "FaultScript":
+        self.faults.append(fault)
+        return self
+
+    def apply_to(self, system) -> None:
+        """Schedule every fault against a built (unstarted ok) system."""
+        for fault in self.faults:
+            if isinstance(fault, SensorStuck):
+                node = _find_node(system, fault.device_id)
+                system.sim.schedule_at(
+                    fault.time,
+                    lambda n=node, f=fault: n.sensor.fail_stuck(f.value),
+                    name=f"fault-stuck/{fault.device_id}")
+            elif isinstance(fault, SensorDrift):
+                node = _find_node(system, fault.device_id)
+                system.sim.schedule_at(
+                    fault.time,
+                    lambda n=node, f=fault: n.sensor.fail_drift(f.offset),
+                    name=f"fault-drift/{fault.device_id}")
+            elif isinstance(fault, NodeCrash):
+                node = _find_node(system, fault.device_id)
+                system.sim.schedule_at(
+                    fault.time, node.stop,
+                    name=f"fault-crash/{fault.device_id}")
+            elif isinstance(fault, ChannelJam):
+                _schedule_jam(system, fault)
+            else:  # pragma: no cover - the Union is exhaustive
+                raise TypeError(f"unknown fault: {fault!r}")
+
+
+def _find_node(system, device_id: str):
+    for node in system.bt_nodes:
+        if node.device_id == device_id:
+            return node
+    raise LookupError(f"no bt-device called {device_id!r}")
+
+
+JAM_BURST_PAYLOAD = 100  # near-maximal frames: ~3.7 ms of airtime each
+
+
+def _schedule_jam(system, jam: ChannelJam) -> None:
+    """Emit jamming bursts directly onto the medium at the duty cycle."""
+    if system.medium is None:
+        raise RuntimeError("cannot jam a system running in direct mode")
+    sim = system.sim
+    burst_airtime = Packet(
+        data_type=DataType.TEMPERATURE, source="jammer", created_at=0.0,
+        payload={}, payload_bytes=JAM_BURST_PAYLOAD).airtime_s()
+    interval = burst_airtime / jam.duty
+
+    def burst(at: float) -> None:
+        if at >= jam.end:
+            return
+        packet = Packet(data_type=DataType.TEMPERATURE, source="jammer",
+                        created_at=sim.now, payload={"jam": True},
+                        payload_bytes=JAM_BURST_PAYLOAD)
+        system.medium.transmit(packet, "jammer")
+        sim.schedule_at(at + interval, lambda: burst(at + interval),
+                        priority=PRIORITY_NETWORK, name="jam-burst")
+
+    sim.schedule_at(jam.start, lambda: burst(jam.start),
+                    priority=PRIORITY_NETWORK, name="jam-start")

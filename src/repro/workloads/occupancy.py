@@ -1,0 +1,76 @@
+"""Occupancy schedules for the longer example scenarios.
+
+The paper's controlled trials run the empty lab; the examples exercise
+realistic occupancy (arrivals, lunch dip, meetings migrating between
+subspaces), which stresses the per-subspace CO2/humidity control that
+motivates the *distributed* ventilation design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.events import EventScript, OccupancyChange
+
+
+@dataclass(frozen=True)
+class OccupancyPeriod:
+    """Between ``start`` and ``end``, each subspace holds a headcount."""
+
+    start: float
+    end: float
+    headcount: Tuple[float, float, float, float]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("period must end after it starts")
+        if any(h < 0 for h in self.headcount):
+            raise ValueError("headcounts cannot be negative")
+
+
+class OccupancySchedule:
+    """Piecewise-constant per-subspace occupancy."""
+
+    def __init__(self, periods: Sequence[OccupancyPeriod]) -> None:
+        self.periods = sorted(periods, key=lambda p: p.start)
+        for earlier, later in zip(self.periods, self.periods[1:]):
+            if later.start < earlier.end:
+                raise ValueError("occupancy periods overlap")
+
+    def headcount_at(self, time: float) -> Tuple[float, float, float, float]:
+        for period in self.periods:
+            if period.start <= time < period.end:
+                return period.headcount
+        return (0.0, 0.0, 0.0, 0.0)
+
+    def to_events(self) -> EventScript:
+        """Flatten into OccupancyChange events for the system runner."""
+        script = EventScript()
+        previous = (0.0, 0.0, 0.0, 0.0)
+        boundaries: List[float] = []
+        for period in self.periods:
+            boundaries.extend((period.start, period.end))
+        for boundary in sorted(set(boundaries)):
+            current = self.headcount_at(boundary)
+            for subspace, (old, new) in enumerate(zip(previous, current)):
+                if old != new:
+                    script.add(OccupancyChange(boundary, subspace, new))
+            previous = current
+        return script
+
+
+def office_day_schedule(day_start: float = 9 * 3600.0) -> OccupancySchedule:
+    """A plausible office day in the four-subspace lab.
+
+    Morning arrivals, a meeting clustering people into subspace 3, a
+    lunch dip, and an afternoon spread.
+    """
+    h = 3600.0
+    return OccupancySchedule([
+        OccupancyPeriod(day_start, day_start + 1 * h, (1, 1, 0, 0)),
+        OccupancyPeriod(day_start + 1 * h, day_start + 3 * h, (1, 1, 1, 1)),
+        OccupancyPeriod(day_start + 3 * h, day_start + 4 * h, (0, 1, 0, 3)),
+        OccupancyPeriod(day_start + 4 * h, day_start + 5 * h, (0, 0, 0, 0)),
+        OccupancyPeriod(day_start + 5 * h, day_start + 8 * h, (1, 1, 2, 0)),
+    ])

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator at t = 0 with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def sim_afternoon():
+    """A simulator starting at the paper's 13:00 epoch."""
+    return Simulator(seed=42, start_time=13 * 3600.0)

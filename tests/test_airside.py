@@ -1,0 +1,242 @@
+"""Tests for fans, damper, coil, airbox, CO2flap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.airside.airbox import Airbox
+from repro.airside.co2flap import CO2Flap
+from repro.airside.coil import DehumidifierCoil
+from repro.airside.damper import BackdraftDamper
+from repro.airside.fan import DCFanBank, FAN_SPEED_TABLE, lookup_fan_speed
+from repro.physics.psychrometrics import (
+    dew_point_from_humidity_ratio,
+    humidity_ratio_from_dew_point,
+)
+from repro.physics.weather import OutdoorState
+
+OUTDOOR = OutdoorState(28.9, 27.4)
+
+
+class TestFanTable:
+    def test_table_monotone(self):
+        flows = [row[1] for row in FAN_SPEED_TABLE]
+        powers = [row[2] for row in FAN_SPEED_TABLE]
+        assert flows == sorted(flows)
+        assert powers == sorted(powers)
+
+    def test_lookup_zero(self):
+        assert lookup_fan_speed(0.0) == 0
+
+    def test_lookup_rounds_up(self):
+        """The demanded flow is a minimum, so the step covers it."""
+        for step, flow, _power in FAN_SPEED_TABLE[1:]:
+            assert lookup_fan_speed(flow - 1e-6) == step
+            assert lookup_fan_speed(flow) == step
+
+    def test_lookup_clamps_to_top(self):
+        assert lookup_fan_speed(99.0) == FAN_SPEED_TABLE[-1][0]
+
+    def test_lookup_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lookup_fan_speed(-0.1)
+
+    @given(demand=st.floats(0.0, 0.05))
+    def test_delivered_flow_covers_demand(self, demand):
+        step = lookup_fan_speed(demand)
+        delivered = FAN_SPEED_TABLE[step][1]
+        expected = min(demand, FAN_SPEED_TABLE[-1][1])
+        assert delivered >= expected - 1e-9
+
+
+class TestFanBank:
+    def test_set_flow_demand(self):
+        bank = DCFanBank("f")
+        step = bank.set_flow_demand(0.005)
+        assert step == bank.speed_step
+        assert bank.flow_m3s >= 0.005
+
+    def test_rejects_out_of_range_step(self):
+        bank = DCFanBank("f")
+        with pytest.raises(ValueError):
+            bank.set_speed(99)
+
+    def test_energy_accumulates(self):
+        bank = DCFanBank("f")
+        bank.set_speed(6)
+        bank.integrate(10.0)
+        assert bank.energy_j == pytest.approx(FAN_SPEED_TABLE[6][2] * 10.0)
+
+
+class TestDamper:
+    def test_passes_fan_flow(self):
+        damper = BackdraftDamper("d")
+        assert damper.effective_flow(0.01) == 0.01
+        assert damper.is_open
+
+    def test_seals_when_fans_stop(self):
+        damper = BackdraftDamper("d", leakage_fraction=0.01)
+        assert damper.effective_flow(0.0, wind_leak_m3s=0.1) == pytest.approx(
+            0.001)
+        assert not damper.is_open
+
+    def test_rejects_negative_flow(self):
+        with pytest.raises(ValueError):
+            BackdraftDamper("d").effective_flow(-0.1)
+
+
+class TestCoil:
+    def make(self):
+        return DehumidifierCoil("c", water_temp_c=8.0)
+
+    def test_no_water_no_change(self):
+        coil = self.make()
+        w_in = humidity_ratio_from_dew_point(27.4)
+        result = coil.process(0.01, 28.9, w_in, 0.0)
+        assert result.out_humidity_ratio == w_in
+        assert result.heat_extracted_w == 0.0
+
+    def test_no_air_no_heat(self):
+        coil = self.make()
+        w_in = humidity_ratio_from_dew_point(27.4)
+        result = coil.process(0.0, 28.9, w_in, 0.05)
+        assert result.heat_extracted_w == 0.0
+
+    def test_linear_dew_drop(self):
+        """The paper's stated relation: outlet dew falls linearly in
+        water flow."""
+        coil = self.make()
+        w_in = humidity_ratio_from_dew_point(27.4)
+        flows = [0.01, 0.02, 0.03]
+        dews = [coil.process(0.01, 28.9, w_in, f).out_dew_point_c
+                for f in flows]
+        drop1 = dews[0] - dews[1]
+        drop2 = dews[1] - dews[2]
+        assert drop1 == pytest.approx(drop2, rel=1e-6)
+        assert drop1 == pytest.approx(coil.dew_drop_per_lps * 0.01, rel=1e-6)
+
+    def test_dew_clamped_at_apparatus_limit(self):
+        coil = self.make()
+        w_in = humidity_ratio_from_dew_point(27.4)
+        result = coil.process(0.01, 28.9, w_in, coil.max_water_flow_lps)
+        assert result.out_dew_point_c >= coil.min_reachable_dew_c - 1e-9
+
+    def test_water_flow_for_dew_inverts(self):
+        coil = self.make()
+        flow = coil.water_flow_for_dew(27.4, 16.0)
+        w_in = humidity_ratio_from_dew_point(27.4)
+        result = coil.process(0.01, 28.9, w_in, flow)
+        assert result.out_dew_point_c == pytest.approx(16.0, abs=0.01)
+
+    def test_condensate_positive_when_drying(self):
+        coil = self.make()
+        w_in = humidity_ratio_from_dew_point(27.4)
+        result = coil.process(0.01, 28.9, w_in, 0.05)
+        assert result.condensate_kg_s > 0
+
+    def test_energy_conservation(self):
+        """Extracted heat equals air-side enthalpy drop."""
+        from repro.physics.psychrometrics import moist_air_enthalpy
+        from repro.physics.room import AIR_DENSITY
+        coil = self.make()
+        w_in = humidity_ratio_from_dew_point(27.4)
+        flow_air = 0.01
+        result = coil.process(flow_air, 28.9, w_in, 0.04)
+        h_in = moist_air_enthalpy(28.9, w_in)
+        h_out = moist_air_enthalpy(result.out_temp_c,
+                                   result.out_humidity_ratio)
+        expected = flow_air * AIR_DENSITY * (h_in - h_out)
+        assert result.heat_extracted_w == pytest.approx(expected, rel=1e-9)
+
+    def test_outlet_never_wetter_than_inlet(self):
+        coil = self.make()
+        w_in = humidity_ratio_from_dew_point(20.0)
+        result = coil.process(0.01, 22.0, w_in, 0.06)
+        assert result.out_humidity_ratio <= w_in
+
+    @given(water_flow=st.floats(0.0, 0.06), air_flow=st.floats(0.0, 0.02))
+    def test_outlet_above_saturation(self, water_flow, air_flow):
+        coil = self.make()
+        w_in = humidity_ratio_from_dew_point(27.4)
+        result = coil.process(air_flow, 28.9, w_in, water_flow)
+        assert result.out_temp_c >= result.out_dew_point_c - 1e-9
+
+
+class TestAirbox:
+    def test_output_follows_fans(self, sim):
+        box = Airbox("a")
+        out = box.process(OUTDOOR, 1.0)
+        assert out.flow_m3s == 0.0
+        box.set_fan_flow_demand(0.005)
+        out = box.process(OUTDOOR, 1.0)
+        assert out.flow_m3s >= 0.005
+
+    def test_coil_flow_lags_pump(self):
+        box = Airbox("a")
+        box.set_coil_pump_voltage(5.0)
+        box.process(OUTDOOR, 1.0)
+        after_1s = box.coil_water_flow_lps
+        for _ in range(300):
+            box.process(OUTDOOR, 1.0)
+        after_5min = box.coil_water_flow_lps
+        assert after_1s < after_5min
+        assert after_5min == pytest.approx(box.coil_pump.flow_lps, rel=0.01)
+
+    def test_supply_air_drier_than_outdoor_with_coil(self):
+        box = Airbox("a")
+        box.set_fan_flow_demand(0.01)
+        box.set_coil_pump_voltage(5.0)
+        for _ in range(300):
+            out = box.process(OUTDOOR, 1.0)
+        assert out.supply_dew_point_c < OUTDOOR.dew_point_c
+        assert out.supply_humidity_ratio < OUTDOOR.humidity_ratio
+
+    def test_supply_reheat_applied(self):
+        box = Airbox("a")
+        box.set_fan_flow_demand(0.01)
+        box.set_coil_pump_voltage(5.0)
+        for _ in range(300):
+            out = box.process(OUTDOOR, 1.0)
+        assert out.supply_temp_c > out.supply_dew_point_c
+
+
+class TestCO2Flap:
+    def test_travel_takes_time(self):
+        flap = CO2Flap("f", travel_time_s=4.0)
+        flap.command(True)
+        flap.step(1.0)
+        assert 0.0 < flap.position < 1.0
+        for _ in range(4):
+            flap.step(1.0)
+        assert flap.position == 1.0
+
+    def test_exhaust_throttled_by_position(self):
+        flap = CO2Flap("f")
+        flap.command(True)
+        flap.step(2.0)  # half open
+        half = flap.exhaust_flow(0.02)
+        flap.step(10.0)  # fully open
+        full = flap.exhaust_flow(0.02)
+        assert 0 < half < full
+
+    def test_exhaust_cannot_exceed_supply(self):
+        flap = CO2Flap("f")
+        flap.command(True)
+        flap.step(10.0)
+        assert flap.exhaust_flow(0.001) <= 0.001
+
+    def test_motor_energy_only_while_moving(self):
+        flap = CO2Flap("f")
+        flap.step(10.0)  # not commanded: no motion, no energy
+        assert flap.energy_j == 0.0
+        flap.command(True)
+        flap.step(1.0)
+        assert flap.energy_j > 0.0
+
+    def test_close_command(self):
+        flap = CO2Flap("f")
+        flap.command(True)
+        flap.step(10.0)
+        flap.command(False)
+        flap.step(10.0)
+        assert flap.position == 0.0
+        assert not flap.is_open

@@ -1,0 +1,117 @@
+"""Tests for trace metrics and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    cdf,
+    convergence_time,
+    detection_delays,
+    recovery_time,
+    settling_band_violations,
+)
+from repro.analysis.reporting import render_cop_bars, render_series, render_table
+
+
+class TestConvergenceTime:
+    def test_simple_exponential(self):
+        times = np.arange(0.0, 3000.0, 10.0)
+        values = 25.0 + 3.9 * np.exp(-times / 600.0)
+        t_conv = convergence_time(times, values, target=25.0, tolerance=0.5,
+                                  hold_s=60.0)
+        # 3.9 exp(-t/600) = 0.5 -> t ~ 1232 s.
+        assert t_conv == pytest.approx(1232.0, abs=30.0)
+
+    def test_never_converges(self):
+        times = np.arange(0.0, 100.0, 1.0)
+        values = np.full_like(times, 30.0)
+        assert convergence_time(times, values, 25.0, 0.5) is None
+
+    def test_requires_hold(self):
+        """A brief dip through the band does not count as convergence."""
+        times = np.arange(0.0, 500.0, 1.0)
+        values = np.full_like(times, 30.0)
+        values[100:110] = 25.0   # 10 s dip, hold required 60 s
+        values[400:] = 25.0      # real convergence at t=400
+        t_conv = convergence_time(times, values, 25.0, 0.5, hold_s=60.0)
+        assert t_conv == pytest.approx(400.0)
+
+    def test_empty_series(self):
+        assert convergence_time([], [], 25.0, 0.5) is None
+
+    def test_recovery_time_measured_from_disturbance(self):
+        times = np.arange(0.0, 2000.0, 10.0)
+        values = np.where(times < 1000.0, 25.0, 25.0)
+        values = values + np.where(
+            (times >= 500.0) & (times < 1100.0), 2.0, 0.0)
+        t_rec = recovery_time(times, values, 25.0, 0.5, disturbance_at=500.0)
+        assert t_rec == pytest.approx(600.0)
+
+
+class TestSettling:
+    def test_counts_violations(self):
+        times = np.arange(0.0, 100.0, 1.0)
+        values = np.full_like(times, 25.0)
+        values[50] = 27.0
+        values[60] = 23.0
+        assert settling_band_violations(times, values, 25.0, 0.5,
+                                        after=0.0) == 2
+
+    def test_after_filter(self):
+        times = np.arange(0.0, 100.0, 1.0)
+        values = np.full_like(times, 25.0)
+        values[10] = 30.0
+        assert settling_band_violations(times, values, 25.0, 0.5,
+                                        after=20.0) == 0
+
+
+class TestCdf:
+    def test_basic(self):
+        values, prob = cdf([4.0, 1.0, 3.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0, 4.0]
+        assert list(prob) == [0.25, 0.5, 0.75, 1.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf([])
+
+
+class TestDetectionDelays:
+    def test_finds_first_fast_sample(self):
+        period_times = [0.0, 10.0, 20.0, 23.0, 26.0, 30.0]
+        period_values = [64.0, 64.0, 64.0, 2.0, 2.0, 64.0]
+        delays = detection_delays([20.0], period_times, period_values,
+                                  fast_period_s=2.0)
+        assert delays == [pytest.approx(3.0)]
+
+    def test_undetected_events_omitted(self):
+        delays = detection_delays([100.0], [0.0, 10.0], [64.0, 64.0],
+                                  fast_period_s=2.0, window_s=50.0)
+        assert delays == []
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table("Title", ["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a"], [[1, 2]])
+
+    def test_series_sampling(self):
+        points = [(float(i), float(i * i)) for i in range(100)]
+        text = render_series("fig", points, max_points=10)
+        assert "fig" in text
+        assert str(99.0) in text  # last point always included
+
+    def test_series_empty(self):
+        assert "empty" in render_series("fig", [])
+
+    def test_cop_bars(self):
+        text = render_cop_bars({"AirCon": 2.8, "BubbleZERO": 4.07})
+        assert "AirCon" in text
+        assert "#" in text

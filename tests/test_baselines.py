@@ -1,0 +1,45 @@
+"""Tests for the AirCon baseline (paper Fig. 11's comparator)."""
+
+import pytest
+
+from repro.baselines.aircon import AirConBaseline
+
+
+class TestAirConBaseline:
+    def test_cop_near_paper_value(self):
+        """~2.8 at the paper's rejection conditions [refs 23, 26]."""
+        baseline = AirConBaseline()
+        cop = baseline.cop_at(reject_temp_c=34.9)
+        assert 2.4 < cop < 3.1
+
+    def test_cop_worsens_with_hotter_rejection(self):
+        baseline = AirConBaseline()
+        assert baseline.cop_at(40.0) < baseline.cop_at(32.0)
+
+    def test_serve_accounts_fan_power(self):
+        baseline = AirConBaseline()
+        result = baseline.serve(3_600_000.0, 3600.0, 34.9)
+        chiller_only = baseline.chiller.electrical_power_w(1000.0, 34.9)
+        assert result.electricity_j > chiller_only * 3600.0
+
+    def test_serve_validation(self):
+        baseline = AirConBaseline()
+        with pytest.raises(ValueError):
+            baseline.serve(-1.0, 3600.0, 34.9)
+        with pytest.raises(ValueError):
+            baseline.serve(1.0, 0.0, 34.9)
+
+    def test_result_cop(self):
+        baseline = AirConBaseline()
+        result = baseline.serve(3_600_000.0, 3600.0, 34.9)
+        assert result.cop == pytest.approx(
+            result.heat_removed_j / result.electricity_j)
+
+    def test_bubblezero_beats_aircon_with_same_machines(self):
+        """The decomposition argument: identical second-law fraction,
+        only the working temperatures differ — the 18 degC radiant loop
+        must beat the all-air system."""
+        from repro.hydronics.chiller import CarnotFractionChiller
+        radiant = CarnotFractionChiller("r", 18.0, 0.30)
+        aircon = AirConBaseline(second_law_fraction=0.30)
+        assert radiant.cop_at(34.9) > aircon.cop_at(34.9)

@@ -1,0 +1,146 @@
+"""Tests for the control boards over the simulated network."""
+
+import pytest
+
+from repro.core.plant import Plant
+from repro.devices.boards import (
+    ControlC1,
+    ControlC2,
+    ControlV1,
+    ControlV2,
+    ControlV3,
+)
+from repro.net.medium import BroadcastMedium
+from repro.net.packet import DataType
+from repro.physics.weather import ConstantWeather
+
+
+@pytest.fixture
+def rig(sim_afternoon):
+    sim = sim_afternoon
+    medium = BroadcastMedium(sim, loss_probability=0.0)
+    plant = Plant(ConstantWeather())
+    return sim, medium, plant
+
+
+class TestControlC1:
+    def test_broadcasts_water_temperatures(self, rig):
+        sim, medium, plant = rig
+        board = ControlC1(sim, medium, plant)
+        listener = ControlC2(sim, medium, plant)  # subscribes WATER_TEMP
+        board.start()
+        sim.run(10.0)
+        supply = listener.mote.bus.latest_value(DataType.WATER_TEMP,
+                                                "supply")
+        assert supply == pytest.approx(18.0, abs=1.0)
+        assert listener.mote.bus.latest_value(
+            DataType.WATER_TEMP, ("return", 0)) is not None
+
+
+class TestControlC2:
+    def test_drives_pumps_when_room_hot(self, rig):
+        sim, medium, plant = rig
+        c1 = ControlC1(sim, medium, plant)
+        c2 = ControlC2(sim, medium, plant)
+        c1.start()
+        c2.start()
+        # Feed room temperature data via a raw mote.
+        from repro.devices.mote import Mote, PowerSource
+        feeder = Mote(sim, medium, "feeder", PowerSource.AC)
+        for i in range(4):
+            feeder.broadcast(DataType.TEMPERATURE, 28.5, key=("room", i))
+            feeder.broadcast(DataType.HUMIDITY, 40.0, key=("room", i))
+            feeder.broadcast(DataType.TEMPERATURE, 28.3, key=("ceiling", i))
+            feeder.broadcast(DataType.HUMIDITY, 40.0, key=("ceiling", i))
+        sim.run(15.0)
+        assert plant.panel_loops[0].supply_pump.voltage > 0.0
+
+    def test_holds_pumps_when_condensation_risk(self, rig):
+        sim, medium, plant = rig
+        c2 = ControlC2(sim, medium, plant)
+        c2.start()
+        from repro.devices.mote import Mote, PowerSource
+        feeder = Mote(sim, medium, "feeder", PowerSource.AC)
+        for i in range(4):
+            feeder.broadcast(DataType.TEMPERATURE, 28.9, key=("room", i))
+            feeder.broadcast(DataType.HUMIDITY, 92.0, key=("room", i))
+            feeder.broadcast(DataType.TEMPERATURE, 28.7, key=("ceiling", i))
+            feeder.broadcast(DataType.HUMIDITY, 92.0, key=("ceiling", i))
+        sim.run(15.0)
+        # Ceiling dew ~27.4 > any achievable mixture: interlock holds.
+        assert plant.panel_loops[0].supply_pump.voltage == 0.0
+
+
+class TestControlV1:
+    def test_coil_pump_driven_by_wet_room(self, rig):
+        sim, medium, plant = rig
+        v1 = ControlV1(sim, medium, plant)
+        v1.start()
+        from repro.devices.mote import Mote, PowerSource
+        feeder = Mote(sim, medium, "feeder", PowerSource.AC)
+        for i in range(4):
+            feeder.broadcast(DataType.TEMPERATURE, 28.9, key=("room", i))
+            feeder.broadcast(DataType.HUMIDITY, 92.0, key=("room", i))
+            feeder.broadcast(DataType.AIRBOX_DEW, 27.0, key=i)
+        sim.run(15.0)
+        assert plant.vent_units[0].airbox.coil_pump.voltage > 0.0
+
+
+class TestControlV2V3:
+    def test_fan_cmd_opens_flap(self, rig):
+        sim, medium, plant = rig
+        v2 = ControlV2(sim, medium, plant, subspace=1)
+        v3 = ControlV3(sim, medium, plant, subspace=1)
+        v3_other = ControlV3(sim, medium, plant, subspace=2)
+        for board in (v2, v3, v3_other):
+            board.start()
+        from repro.devices.mote import Mote, PowerSource
+        feeder = Mote(sim, medium, "feeder", PowerSource.AC)
+        feeder.broadcast(DataType.TEMPERATURE, 28.9, key=("room", 1))
+        feeder.broadcast(DataType.HUMIDITY, 92.0, key=("room", 1))
+        sim.run(30.0)
+        assert plant.vent_units[1].airbox.fans.speed_step > 0
+        # The stepper only moves when the plant integrates.
+        for _ in range(10):
+            plant.step(sim.now, 1.0)
+        assert plant.vent_units[1].flap.position > 0.0
+        # The other flap ignores fan commands addressed to subspace 1.
+        assert plant.vent_units[2].flap.position == 0.0
+
+    def test_v2_broadcasts_outlet_dew(self, rig):
+        sim, medium, plant = rig
+        v1 = ControlV1(sim, medium, plant)
+        v2 = ControlV2(sim, medium, plant, subspace=0)
+        v1.start()
+        v2.start()
+        sim.run(10.0)
+        assert v1.mote.bus.latest_value(DataType.AIRBOX_DEW, 0) is not None
+
+    def test_v3_broadcasts_co2(self, rig):
+        sim, medium, plant = rig
+        v3 = ControlV3(sim, medium, plant, subspace=2)
+        v1 = ControlV1(sim, medium, plant)
+        v3.start()
+        v1.start()
+        sim.run(10.0)
+        co2 = v1.mote.bus.latest_value(DataType.CO2, 2)
+        assert co2 is not None
+        assert 300.0 < co2 < 700.0
+
+
+class TestScheduleAdapterIntegration:
+    def test_boards_report_with_adapter(self, rig):
+        sim, medium, plant = rig
+        board = ControlC1(sim, medium, plant, use_schedule_adapter=True)
+        board.start()
+        sim.run(30.0)
+        assert board.schedule_adapter is not None
+        assert medium.total_transmissions > 0
+
+    def test_boards_report_without_adapter(self, rig):
+        sim, medium, plant = rig
+        board = ControlC1(sim, medium, plant, use_schedule_adapter=False)
+        board.start()
+        sim.run(30.0)
+        assert board.schedule_adapter is None
+        assert medium.total_transmissions > 0

@@ -1,0 +1,110 @@
+"""Tests for type-addressed dissemination (paper §IV-A)."""
+
+import pytest
+
+from repro.net.broadcast import TypeBus
+from repro.net.medium import BroadcastMedium
+from repro.net.packet import DataType, Packet
+
+
+def make_packet(data_type, value, key=None, source="src"):
+    return Packet(data_type=data_type, source=source, created_at=0.0,
+                  payload={"value": value, "key": key})
+
+
+@pytest.fixture
+def wired(sim):
+    medium = BroadcastMedium(sim, loss_probability=0.0)
+    bus = TypeBus(sim, medium, "consumer")
+    return medium, bus
+
+
+class TestTypeFiltering:
+    def test_subscribed_type_delivered(self, sim, wired):
+        medium, bus = wired
+        hits = []
+        bus.subscribe(DataType.TEMPERATURE, lambda p, s: hits.append(p))
+        medium.transmit(make_packet(DataType.TEMPERATURE, 25.0), "src")
+        sim.run(1.0)
+        assert len(hits) == 1
+        assert bus.packets_received == 1
+
+    def test_unsubscribed_type_filtered(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.TEMPERATURE)
+        medium.transmit(make_packet(DataType.CO2, 800.0), "src")
+        sim.run(1.0)
+        assert bus.packets_received == 0
+        assert bus.packets_filtered == 1
+
+    def test_subscription_without_handler_still_caches(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.HUMIDITY)
+        medium.transmit(make_packet(DataType.HUMIDITY, 65.0, key=2), "src")
+        sim.run(1.0)
+        assert bus.latest_value(DataType.HUMIDITY, 2) == 65.0
+
+
+class TestCache:
+    def test_latest_tracks_freshest(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.TEMPERATURE)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 25.0, key=0), "s")
+        sim.schedule_in(0.5, lambda: medium.transmit(
+            make_packet(DataType.TEMPERATURE, 26.0, key=0), "s"))
+        sim.run(1.0)
+        cached = bus.latest(DataType.TEMPERATURE, 0)
+        assert cached.value == 26.0
+        assert cached.received_at > 0.5
+
+    def test_keys_are_independent(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.TEMPERATURE)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 25.0, key=0), "s")
+        sim.run(0.1)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 27.0, key=1), "s")
+        sim.run(1.0)
+        assert bus.latest_value(DataType.TEMPERATURE, 0) == 25.0
+        assert bus.latest_value(DataType.TEMPERATURE, 1) == 27.0
+
+    def test_latest_value_default(self, wired):
+        _medium, bus = wired
+        assert bus.latest_value(DataType.CO2, 0, default=400.0) == 400.0
+
+    def test_age_of(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.TEMPERATURE)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 25.0, key=0), "s")
+        sim.run(2.0)
+        age = bus.age_of(DataType.TEMPERATURE, 0)
+        assert age == pytest.approx(2.0, abs=0.01)
+        assert bus.age_of(DataType.CO2) is None
+
+    def test_mean_of_partial_keys(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.TEMPERATURE)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 24.0, key=0), "s")
+        sim.run(0.1)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 26.0, key=1), "s")
+        sim.run(1.0)
+        mean = bus.mean_of(DataType.TEMPERATURE, [0, 1, 2, 3])
+        assert mean == pytest.approx(25.0)
+
+    def test_mean_of_empty_returns_default(self, wired):
+        _medium, bus = wired
+        assert bus.mean_of(DataType.TEMPERATURE, [0, 1], default=28.9) == 28.9
+
+
+class TestMultipleConsumers:
+    def test_one_supplier_many_consumers(self, sim):
+        """The paper's point: one broadcast feeds every interested
+        consumer without extra transmissions."""
+        medium = BroadcastMedium(sim, loss_probability=0.0)
+        buses = [TypeBus(sim, medium, f"c{i}") for i in range(5)]
+        for bus in buses:
+            bus.subscribe(DataType.HUMIDITY)
+        medium.transmit(make_packet(DataType.HUMIDITY, 65.0, key=0), "s")
+        sim.run(1.0)
+        assert all(b.latest_value(DataType.HUMIDITY, 0) == 65.0
+                   for b in buses)
+        assert medium.total_transmissions == 1

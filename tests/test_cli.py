@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.minutes == 105.0
+        assert args.seed == 7
+        assert not args.direct
+
+    def test_lifetime_args(self):
+        args = build_parser().parse_args(["lifetime", "--hours", "1.5"])
+        assert args.hours == 1.5
+
+
+class TestRunCommand:
+    def test_short_direct_run(self, capsys, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        json_path = tmp_path / "s.json"
+        code = main(["run", "--minutes", "5", "--direct", "--seed", "3",
+                     "--export-csv", str(csv_path),
+                     "--export-json", str(json_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "condensation events: 0" in out
+        assert csv_path.exists()
+        summary = json.loads(json_path.read_text())
+        assert summary["seed"] == 3
+
+    def test_short_network_run(self, capsys):
+        code = main(["run", "--minutes", "3", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "collision rate" in out
+
+    def test_fixed_tx_flag(self, capsys):
+        code = main(["run", "--minutes", "2", "--fixed-tx", "--seed", "3"])
+        assert code == 0
+
+
+class TestCopCommand:
+    def test_cop_report(self, capsys):
+        code = main(["cop", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BubbleZERO" in out
+        assert "improvement over AirCon" in out

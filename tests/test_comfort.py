@@ -1,0 +1,105 @@
+"""Tests for the Fanger PMV/PPD comfort model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.comfort import (
+    ComfortInputs,
+    comfort_report,
+    predicted_mean_vote,
+    predicted_percentage_dissatisfied,
+)
+
+
+class TestPMV:
+    def test_neutral_conditions_near_zero(self):
+        """ISO 7730 reference-ish point: ~25 degC, still air, 0.5 clo,
+        1.1 met is close to neutral."""
+        pmv = predicted_mean_vote(ComfortInputs(
+            air_temp_c=25.0, mean_radiant_temp_c=25.0, rh_percent=50.0))
+        assert abs(pmv) < 0.6
+
+    def test_hot_room_positive(self):
+        pmv = predicted_mean_vote(ComfortInputs(
+            air_temp_c=32.0, mean_radiant_temp_c=32.0, rh_percent=70.0))
+        assert pmv > 1.0
+
+    def test_cold_room_negative(self):
+        pmv = predicted_mean_vote(ComfortInputs(
+            air_temp_c=16.0, mean_radiant_temp_c=16.0, rh_percent=40.0))
+        assert pmv < -1.0
+
+    def test_radiant_cooling_effect(self):
+        """A cool ceiling (lower MRT) reduces PMV at equal air temp —
+        the comfort mechanism radiant panels exploit."""
+        warm_mrt = predicted_mean_vote(ComfortInputs(
+            air_temp_c=26.0, mean_radiant_temp_c=26.0, rh_percent=60.0))
+        cool_mrt = predicted_mean_vote(ComfortInputs(
+            air_temp_c=26.0, mean_radiant_temp_c=22.5, rh_percent=60.0))
+        assert cool_mrt < warm_mrt
+
+    def test_humidity_makes_heat_worse(self):
+        dry = predicted_mean_vote(ComfortInputs(
+            air_temp_c=29.0, mean_radiant_temp_c=29.0, rh_percent=30.0))
+        humid = predicted_mean_vote(ComfortInputs(
+            air_temp_c=29.0, mean_radiant_temp_c=29.0, rh_percent=90.0))
+        assert humid > dry
+
+    @settings(max_examples=40, deadline=None)
+    @given(ta=st.floats(18.0, 32.0), rh=st.floats(20.0, 95.0),
+           vel=st.floats(0.05, 1.0))
+    def test_pmv_bounded_for_sane_inputs(self, ta, rh, vel):
+        # The raw Fanger index is unclamped; a cold draft at 18 degC in
+        # light clothing legitimately lands below -4.  The sanity bound
+        # here only guards against numerical blow-ups.
+        pmv = predicted_mean_vote(ComfortInputs(
+            air_temp_c=ta, mean_radiant_temp_c=ta, rh_percent=rh,
+            air_velocity_ms=vel))
+        assert -7.0 < pmv < 7.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            ComfortInputs(air_temp_c=50.0, mean_radiant_temp_c=25.0,
+                          rh_percent=50.0)
+        with pytest.raises(ValueError):
+            ComfortInputs(air_temp_c=25.0, mean_radiant_temp_c=25.0,
+                          rh_percent=0.0)
+
+
+class TestPPD:
+    def test_minimum_at_neutral(self):
+        assert predicted_percentage_dissatisfied(0.0) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        assert (predicted_percentage_dissatisfied(1.0)
+                == pytest.approx(predicted_percentage_dissatisfied(-1.0)))
+
+    def test_iso_reference_values(self):
+        """PPD ~ 26% at |PMV| = 1 (ISO 7730 table)."""
+        assert predicted_percentage_dissatisfied(1.0) == pytest.approx(
+            26.1, abs=1.0)
+
+    @given(pmv=st.floats(-3.0, 3.0))
+    def test_range(self, pmv):
+        ppd = predicted_percentage_dissatisfied(pmv)
+        assert 5.0 <= ppd <= 100.0
+
+
+class TestComfortReport:
+    def test_paper_target_is_comfortable(self):
+        """25 degC air, 18 degC dew, ~20 degC panels: comfortable."""
+        report = comfort_report(air_temp_c=25.0, dew_point_c=18.0,
+                                panel_surface_c=20.0)
+        assert abs(report["pmv"]) < 0.7
+        assert report["ppd_percent"] < 20.0
+        assert report["mean_radiant_temp_c"] < 25.0
+
+    def test_uncontrolled_tropical_room_is_not(self):
+        report = comfort_report(air_temp_c=28.9, dew_point_c=27.4,
+                                panel_surface_c=28.9)
+        assert report["pmv"] > 1.0
+        assert report["ppd_percent"] > 30.0
+
+    def test_panel_fraction_validation(self):
+        with pytest.raises(ValueError):
+            comfort_report(25.0, 18.0, 20.0, panel_area_fraction=1.5)

@@ -1,0 +1,87 @@
+"""Tests for dew-point targets and the condensation guard (paper §III)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control.condensation import (
+    CondensationGuard,
+    HOLD_MARGIN_K,
+    PULLDOWN_MARGIN_K,
+    PULLDOWN_TRIGGER_K,
+    mix_temperature_target,
+    room_dew_target,
+    supply_dew_target,
+)
+
+
+class TestMixTarget:
+    def test_supply_when_dry(self):
+        """Dry ceiling air: tank water can be supplied directly."""
+        assert mix_temperature_target(18.0, 15.0) == 18.0
+
+    def test_dew_point_when_humid(self):
+        """Humid ceiling air: mixture must warm up to the dew point."""
+        assert mix_temperature_target(18.0, 21.5) == 21.5
+
+    @given(supply=st.floats(10.0, 25.0), dew=st.floats(5.0, 30.0))
+    def test_never_below_either_bound(self, supply, dew):
+        target = mix_temperature_target(supply, dew)
+        assert target >= supply
+        assert target >= dew
+
+
+class TestRoomDewTarget:
+    def test_preference_wins_when_drier(self):
+        assert room_dew_target(16.0, 18.0) == 16.0
+
+    def test_supply_temp_caps_when_preference_wetter(self):
+        """Occupant asks for 20 degC dew but water is 18 degC: the room
+        must be kept at 18 so the panels never condense."""
+        assert room_dew_target(20.0, 18.0) == 18.0
+
+    @given(pref=st.floats(10.0, 25.0), supply=st.floats(10.0, 25.0))
+    def test_is_min(self, pref, supply):
+        assert room_dew_target(pref, supply) == min(pref, supply)
+
+
+class TestSupplyDewTarget:
+    def test_pulldown_mode(self):
+        """Room clearly wetter than target: aim 2 K below (paper rule)."""
+        target = supply_dew_target(18.0, 22.0)
+        assert target == 18.0 - PULLDOWN_MARGIN_K
+
+    def test_hold_mode_near_target(self):
+        target = supply_dew_target(18.0, 18.0 + PULLDOWN_TRIGGER_K / 2)
+        assert target == 18.0 - HOLD_MARGIN_K
+
+    def test_hold_mode_below_target(self):
+        target = supply_dew_target(18.0, 16.0)
+        assert target == 18.0 - HOLD_MARGIN_K
+
+    def test_pulldown_is_deeper_than_hold(self):
+        assert PULLDOWN_MARGIN_K > HOLD_MARGIN_K
+
+
+class TestCondensationGuard:
+    def test_safe_observation(self):
+        guard = CondensationGuard()
+        assert guard.check(surface_temp_c=20.0, air_temp_c=25.0,
+                           air_rh_percent=60.0)
+        assert guard.violations == 0
+
+    def test_violation_counted(self):
+        guard = CondensationGuard()
+        # 25 degC at 90 %RH has a dew point of ~23.2 degC.
+        assert not guard.check(surface_temp_c=20.0, air_temp_c=25.0,
+                               air_rh_percent=90.0)
+        assert guard.violations == 1
+
+    def test_worst_margin_tracked(self):
+        guard = CondensationGuard()
+        guard.check_dew(surface_temp_c=20.0, dew_point_c=18.0)
+        guard.check_dew(surface_temp_c=20.0, dew_point_c=19.5)
+        assert guard.worst_margin_k == pytest.approx(0.5)
+
+    def test_margin_parameter(self):
+        guard = CondensationGuard(margin_k=1.0)
+        assert not guard.check_dew(surface_temp_c=18.5, dew_point_c=18.0)

@@ -1,0 +1,52 @@
+"""Tests for run configuration."""
+
+import pytest
+
+from repro.core.config import (
+    BubbleZeroConfig,
+    ComfortConfig,
+    NetworkConfig,
+    OutdoorConfig,
+)
+from repro.sim.clock import parse_clock
+
+
+class TestNetworkConfig:
+    def test_defaults(self):
+        config = NetworkConfig()
+        assert config.enabled
+        assert config.bt_mode == "adaptive"
+        assert config.histogram_slots == 40  # the paper's N
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(bt_mode="chaotic")
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(loss_probability=1.0)
+
+
+class TestComfortConfig:
+    def test_defaults_give_paper_dew_target(self):
+        from repro.physics.psychrometrics import dew_point
+        comfort = ComfortConfig()
+        dew = dew_point(comfort.preferred_temp_c,
+                        comfort.preferred_rh_percent)
+        assert dew == pytest.approx(18.0, abs=0.1)
+
+
+class TestBubbleZeroConfig:
+    def test_default_start_is_1pm(self):
+        assert BubbleZeroConfig().start_time_s == parse_clock("13:00")
+
+    def test_default_outdoor_is_paper_afternoon(self):
+        outdoor = OutdoorConfig()
+        assert outdoor.temp_c == 28.9
+        assert outdoor.dew_point_c == 27.4
+
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(ValueError):
+            BubbleZeroConfig(physics_dt_s=0.0)
+        with pytest.raises(ValueError):
+            BubbleZeroConfig(record_period_s=-1.0)

@@ -1,0 +1,154 @@
+"""Conservation and invariant properties of the physics substrate.
+
+These are the checks that catch sign errors and unit slips in a thermal
+model: with all exchange paths closed the state must not move; fluxes
+must balance across interfaces; monotone drivers must have monotone
+effects.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hydronics.panel import RadiantPanel
+from repro.hydronics.water import WATER_CP, mass_flow
+from repro.physics.room import (
+    Room,
+    RoomParameters,
+    SubspaceInputs,
+)
+from repro.physics.weather import OutdoorState
+
+
+def sealed_params():
+    """A room with every passive exchange path disabled."""
+    return RoomParameters(envelope_ua_w_per_k=0.0,
+                          coupling_ua_w_per_k=0.0,
+                          mixing_flow_m3s=0.0,
+                          infiltration_ach=0.0,
+                          door_exchange_m3s=0.0)
+
+
+IDLE = [SubspaceInputs(equipment_w=0.0) for _ in range(4)]
+OUTDOOR = OutdoorState(28.9, 27.4)
+
+
+class TestSealedRoomInvariance:
+    def test_temperature_frozen(self):
+        room = Room(params=sealed_params(), initial_temp_c=24.0,
+                    initial_dew_c=16.0)
+        for _ in range(3600):
+            room.step(1.0, OUTDOOR, IDLE)
+        assert room.mean_temp_c() == pytest.approx(24.0, abs=1e-9)
+
+    def test_moisture_frozen(self):
+        room = Room(params=sealed_params(), initial_dew_c=16.0)
+        w0 = room.mean_humidity_ratio()
+        for _ in range(3600):
+            room.step(1.0, OUTDOOR, IDLE)
+        assert room.mean_humidity_ratio() == pytest.approx(w0, rel=1e-12)
+
+    def test_co2_frozen(self):
+        room = Room(params=sealed_params(), initial_co2_ppm=600.0)
+        for _ in range(3600):
+            room.step(1.0, OUTDOOR, IDLE)
+        assert room.mean_co2_ppm() == pytest.approx(600.0, abs=1e-9)
+
+    def test_known_heat_input_integrates_exactly(self):
+        """1 kW into a sealed room for 1000 s raises each subspace by
+        exactly Q / C."""
+        params = sealed_params()
+        room = Room(params=params, initial_temp_c=20.0, initial_dew_c=10.0)
+        inputs = [SubspaceInputs(equipment_w=250.0) for _ in range(4)]
+        for _ in range(1000):
+            room.step(1.0, OUTDOOR, inputs)
+        expected = 20.0 + 250.0 * 1000.0 / params.capacity_j_per_k
+        assert room.mean_temp_c() == pytest.approx(expected, rel=1e-9)
+
+    def test_occupant_latent_mass_balance(self):
+        """Occupant vapour accumulates at exactly the emission rate."""
+        from repro.physics.room import AIR_DENSITY, OCCUPANT_LATENT_KGS
+        params = sealed_params()
+        room = Room(params=params, initial_temp_c=25.0, initial_dew_c=10.0)
+        inputs = [SubspaceInputs(occupants=1.0, equipment_w=0.0)
+                  for _ in range(4)]
+        w0 = room.state_of(0).humidity_ratio
+        seconds = 600
+        for _ in range(seconds):
+            room.step(1.0, OUTDOOR, inputs)
+        buffer_mass = (15.0 * AIR_DENSITY
+                       * params.moisture_buffer_factor)
+        expected = w0 + OCCUPANT_LATENT_KGS * seconds / buffer_mass
+        # Occupants also heat the room, but moisture bookkeeping is
+        # independent of temperature in this model.
+        assert room.state_of(0).humidity_ratio == pytest.approx(
+            expected, rel=1e-6)
+
+
+class TestInterfaceBalances:
+    @settings(max_examples=30, deadline=None)
+    @given(flow=st.floats(0.02, 0.3), water=st.floats(8.0, 22.0),
+           room=st.floats(20.0, 32.0))
+    def test_panel_water_air_balance(self, flow, water, room):
+        """Heat leaving the room equals heat entering the water."""
+        panel = RadiantPanel("p")
+        result = panel.exchange(flow, water, room)
+        water_side = mass_flow(flow) * WATER_CP * (
+            result.return_temp_c - water)
+        assert result.heat_w == pytest.approx(water_side, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(flow_a=st.floats(0.0, 0.2), flow_b=st.floats(0.0, 0.2))
+    def test_junction_mass_balance(self, flow_a, flow_b):
+        from repro.hydronics.mixing import MixingJunction
+        from repro.hydronics.pump import DCPump
+        supply, recycle = DCPump("s"), DCPump("r")
+        supply.set_voltage(supply.curve.voltage_for(flow_a))
+        recycle.set_voltage(recycle.curve.voltage_for(flow_b))
+        junction = MixingJunction(supply, recycle)
+        result = junction.mix(18.0, 23.0)
+        assert result.flow_lps == pytest.approx(
+            result.supply_flow_lps + result.recycle_flow_lps)
+
+    def test_junction_energy_balance(self):
+        """Mixed stream carries exactly the two inlets' enthalpy."""
+        from repro.hydronics.mixing import MixingJunction
+        from repro.hydronics.pump import DCPump
+        supply, recycle = DCPump("s"), DCPump("r")
+        supply.set_voltage(3.0)
+        recycle.set_voltage(4.0)
+        junction = MixingJunction(supply, recycle)
+        result = junction.mix(18.0, 23.0)
+        inflow = (result.supply_flow_lps * 18.0
+                  + result.recycle_flow_lps * 23.0)
+        assert result.temp_c * result.flow_lps == pytest.approx(inflow)
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(heat1=st.floats(0.0, 400.0), heat2=st.floats(0.0, 400.0))
+    def test_more_cooling_colder_room(self, heat1, heat2):
+        if heat1 > heat2:
+            heat1, heat2 = heat2, heat1
+        rooms = []
+        for heat in (heat1, heat2):
+            room = Room()
+            inputs = [SubspaceInputs(panel_heat_w=heat, equipment_w=0.0)
+                      for _ in range(4)]
+            for _ in range(120):
+                room.step(5.0, OUTDOOR, inputs)
+            rooms.append(room.mean_temp_c())
+        assert rooms[1] <= rooms[0] + 1e-9
+
+    def test_more_ventilation_drier_room(self):
+        results = []
+        for flow in (0.002, 0.02):
+            room = Room()
+            inputs = [SubspaceInputs(vent_flow_m3s=flow,
+                                     vent_supply_temp_c=18.0,
+                                     vent_supply_w=0.011,
+                                     equipment_w=0.0)
+                      for _ in range(4)]
+            for _ in range(600):
+                room.step(1.0, OUTDOOR, inputs)
+            results.append(room.mean_humidity_ratio())
+        assert results[1] < results[0]

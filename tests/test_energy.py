@@ -1,0 +1,84 @@
+"""Tests for energy accounting and lifetime projection (paper §IV-B)."""
+
+import pytest
+
+from repro.net.energy import (
+    BatteryModel,
+    EnergyLedger,
+    TELOSB_PROFILE,
+    SECONDS_PER_YEAR,
+    lifetime_years_at_period,
+)
+
+
+class TestLifetimeAnchors:
+    def test_paper_fixed_scheme_anchor(self):
+        """T_snd = 2 s (Fixed) -> ~0.7 years (paper §V-C)."""
+        assert lifetime_years_at_period(2.0) == pytest.approx(0.7, abs=0.05)
+
+    def test_paper_adaptive_anchor(self):
+        """T_snd ~ 48 s (BT-ADPT) -> ~3.2 years (paper §V-C)."""
+        assert lifetime_years_at_period(48.0) == pytest.approx(3.2, abs=0.2)
+
+    def test_lifetime_monotone_in_period(self):
+        lifetimes = [lifetime_years_at_period(p) for p in (2, 8, 32, 64)]
+        assert lifetimes == sorted(lifetimes)
+
+    def test_ratio_matches_paper(self):
+        """The paper's headline: 3.2 y vs 0.7 y, a ~4.6x gain."""
+        ratio = lifetime_years_at_period(48.0) / lifetime_years_at_period(2.0)
+        assert 4.0 < ratio < 5.2
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            lifetime_years_at_period(0.0)
+
+
+class TestBattery:
+    def test_lifetime(self):
+        battery = BatteryModel(capacity_j=1000.0)
+        assert battery.lifetime_s(1.0) == 1000.0
+        assert battery.lifetime_years(1.0) == pytest.approx(
+            1000.0 / SECONDS_PER_YEAR)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            BatteryModel(capacity_j=0.0)
+        with pytest.raises(ValueError):
+            BatteryModel().lifetime_s(0.0)
+
+
+class TestEnergyLedger:
+    def test_transmissions_charged(self):
+        ledger = EnergyLedger("d")
+        ledger.charge_transmission()
+        ledger.charge_transmission()
+        assert ledger.packets_sent == 2
+        assert ledger.tx_energy_j == pytest.approx(
+            2 * TELOSB_PROFILE.tx_energy_per_packet_j)
+
+    def test_base_accrual_from_start_time(self):
+        """Base load starts at the device's power-on time, not t = 0."""
+        ledger = EnergyLedger("d", start_time=1000.0)
+        ledger.accrue_base(1100.0)
+        assert ledger.base_energy_j == pytest.approx(
+            TELOSB_PROFILE.base_power_w * 100.0)
+
+    def test_base_accrual_monotonic(self):
+        ledger = EnergyLedger("d")
+        ledger.accrue_base(10.0)
+        with pytest.raises(ValueError):
+            ledger.accrue_base(5.0)
+
+    def test_average_power_and_projection(self):
+        ledger = EnergyLedger("d")
+        ledger.accrue_base(1000.0)
+        for _ in range(500):  # one packet every 2 s
+            ledger.charge_transmission()
+        projected = ledger.projected_lifetime_years(1000.0)
+        assert projected == pytest.approx(
+            lifetime_years_at_period(2.0), rel=0.05)
+
+    def test_average_power_rejects_zero_elapsed(self):
+        with pytest.raises(ValueError):
+            EnergyLedger("d").average_power_w(0.0)

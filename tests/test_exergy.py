@@ -1,0 +1,64 @@
+"""Tests for exergy accounting — the low-exergy story must hold."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.physics import exergy
+
+
+class TestExergyOfHeat:
+    def test_zero_gradient_zero_exergy(self):
+        assert exergy.exergy_of_heat(1000.0, 300.0, 300.0) == 0.0
+
+    def test_paper_definition(self):
+        """Ex = Q (1 - T/T0), literally."""
+        q, t, t0 = 500.0, 291.15, 298.15
+        assert exergy.exergy_of_heat(q, t, t0) == pytest.approx(
+            q * (1 - t / t0))
+
+    def test_rejects_nonpositive_kelvin(self):
+        with pytest.raises(exergy.ExergyError):
+            exergy.exergy_of_heat(1.0, -5.0, 300.0)
+
+
+class TestCoolingExergy:
+    def test_higher_water_temperature_needs_less_exergy(self):
+        """The core of the paper: 18 degC water beats 8 degC air."""
+        high_temp = exergy.cooling_exergy(1000.0, 18.0, 25.0)
+        low_temp = exergy.cooling_exergy(1000.0, 8.0, 25.0)
+        assert high_temp < low_temp
+
+    @given(work=st.floats(1.0, 24.0))
+    def test_monotone_in_gradient(self, work):
+        room = 25.0
+        closer = exergy.cooling_exergy(1000.0, room - work / 2, room)
+        farther = exergy.cooling_exergy(1000.0, room - work, room)
+        assert closer <= farther + 1e-9
+
+    def test_rejects_below_absolute_zero(self):
+        with pytest.raises(exergy.ExergyError):
+            exergy.cooling_exergy(100.0, -300.0, 25.0)
+
+
+class TestCarnotCop:
+    def test_paper_scale_values(self):
+        """18 degC cold against ~35 degC rejection: Carnot COP ~ 17."""
+        cop18 = exergy.carnot_cop_celsius(18.0, 34.9)
+        cop8 = exergy.carnot_cop_celsius(8.0, 34.9)
+        assert 16.0 < cop18 < 18.5
+        assert 10.0 < cop8 < 11.0
+        assert cop18 > cop8
+
+    def test_requires_hot_above_cold(self):
+        with pytest.raises(exergy.ExergyError):
+            exergy.carnot_cop_celsius(20.0, 20.0)
+
+    @given(cold=st.floats(1.0, 20.0), lift=st.floats(1.0, 40.0))
+    def test_cop_decreases_with_lift(self, cold, lift):
+        small = exergy.carnot_cop_celsius(cold, cold + lift)
+        large = exergy.carnot_cop_celsius(cold, cold + lift + 5.0)
+        assert large < small
+
+    def test_kelvin_conversion_guard(self):
+        with pytest.raises(exergy.ExergyError):
+            exergy.celsius_to_kelvin(-280.0)

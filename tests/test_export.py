@@ -1,0 +1,88 @@
+"""Tests for CSV/JSON export of runs."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    export_summary_json,
+    export_traces_csv,
+    load_summary_json,
+    run_summary,
+)
+from repro.core.config import BubbleZeroConfig, NetworkConfig
+from repro.core.system import BubbleZero
+from repro.sim.tracing import TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    system = BubbleZero(BubbleZeroConfig(seed=9))
+    system.run(minutes=5)
+    system.finalize()
+    return system
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, tmp_path):
+        trace = TraceRecorder()
+        for t in range(10):
+            trace.record("a", float(t), float(t * 2))
+            trace.record("b", float(t), 1.0)
+        path = tmp_path / "out.csv"
+        rows = export_traces_csv(trace, str(path), grid_step_s=1.0)
+        assert rows == 10
+        with path.open() as handle:
+            reader = list(csv.reader(handle))
+        assert reader[0] == ["time_s", "a", "b"]
+        assert float(reader[1][1]) == 0.0
+        assert float(reader[-1][1]) == 18.0
+
+    def test_selected_series(self, tmp_path, short_run):
+        path = tmp_path / "temps.csv"
+        export_traces_csv(short_run.sim.trace, str(path),
+                          series_names=[f"subspace/{i}/temp"
+                                        for i in range(4)])
+        with path.open() as handle:
+            header = handle.readline().strip().split(",")
+        assert len(header) == 5
+
+    def test_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_traces_csv(TraceRecorder(), str(tmp_path / "x.csv"))
+
+    def test_bad_grid_raises(self, tmp_path):
+        trace = TraceRecorder()
+        trace.record("a", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            export_traces_csv(trace, str(tmp_path / "x.csv"),
+                              grid_step_s=0.0)
+
+
+class TestSummary:
+    def test_summary_structure(self, short_run):
+        summary = run_summary(short_run)
+        assert summary["seed"] == 9
+        assert summary["room"]["condensation_events"] == 0
+        assert "transmissions" in summary["network"]
+        assert len(summary["bt_devices"]) == 16
+
+    def test_summary_is_json_serialisable(self, short_run):
+        text = json.dumps(run_summary(short_run))
+        assert "radiant_heat_removed_j" in text
+
+    def test_json_roundtrip(self, tmp_path, short_run):
+        path = tmp_path / "summary.json"
+        export_summary_json(short_run, str(path))
+        loaded = load_summary_json(str(path))
+        assert loaded["seed"] == 9
+        assert loaded["room"]["mean_temp_c"] == pytest.approx(
+            short_run.plant.room.mean_temp_c())
+
+    def test_direct_mode_summary_has_no_network(self):
+        system = BubbleZero(BubbleZeroConfig(
+            seed=1, network=NetworkConfig(enabled=False)))
+        system.run(minutes=1)
+        summary = run_summary(system)
+        assert "network" not in summary

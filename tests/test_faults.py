@@ -1,0 +1,121 @@
+"""Tests for fault injection and system robustness under failures."""
+
+import pytest
+
+from repro.core.config import BubbleZeroConfig
+from repro.core.system import BubbleZero
+from repro.workloads.faults import (
+    ChannelJam,
+    FaultScript,
+    NodeCrash,
+    SensorDrift,
+    SensorStuck,
+)
+
+
+class TestFaultValidation:
+    def test_jam_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChannelJam(start=10.0, end=10.0)
+
+    def test_jam_duty_range(self):
+        with pytest.raises(ValueError):
+            ChannelJam(start=0.0, end=1.0, duty=0.0)
+        with pytest.raises(ValueError):
+            ChannelJam(start=0.0, end=1.0, duty=1.5)
+
+    def test_unknown_device_raises_at_apply(self):
+        system = BubbleZero(BubbleZeroConfig(seed=1))
+        script = FaultScript([NodeCrash(time=system.sim.now + 1.0,
+                                        device_id="bt-ghost")])
+        with pytest.raises(LookupError):
+            script.apply_to(system)
+
+
+class TestSensorFaults:
+    def test_stuck_sensor_reports_constant(self):
+        system = BubbleZero(BubbleZeroConfig(seed=2))
+        node = system.bt_nodes[0]
+        start = system.sim.now
+        FaultScript([SensorStuck(start + 30.0, node.device_id, 42.0)
+                     ]).apply_to(system)
+        system.run(minutes=2)
+        assert node.sensor.is_stuck
+        assert node.latest_sample == 42.0
+
+    def test_drift_biases_readings(self):
+        system = BubbleZero(BubbleZeroConfig(seed=2))
+        node = system.bt_nodes[0]
+        start = system.sim.now
+        FaultScript([SensorDrift(start + 10.0, node.device_id, 5.0)
+                     ]).apply_to(system)
+        system.run(minutes=1)
+        truth = system.plant.room.state_of(0).temp_c
+        assert node.latest_sample == pytest.approx(truth + 5.0, abs=0.5)
+
+    def test_recover_clears_faults(self):
+        system = BubbleZero(BubbleZeroConfig(seed=2))
+        node = system.bt_nodes[0]
+        node.sensor.fail_stuck(99.0)
+        node.sensor.recover()
+        assert not node.sensor.is_stuck
+        assert node.sensor.read() < 50.0
+
+
+class TestNodeCrash:
+    def test_crashed_node_stops_transmitting(self):
+        system = BubbleZero(BubbleZeroConfig(seed=3))
+        node = system.bt_nodes[0]
+        start = system.sim.now
+        FaultScript([NodeCrash(start + 60.0, node.device_id)
+                     ]).apply_to(system)
+        system.run(minutes=1)
+        sends_at_crash = node.sends
+        system.run(minutes=3)
+        assert node.sends == sends_at_crash
+
+    def test_system_survives_one_dead_sensor_per_subspace(self):
+        """Kill all four ceiling humidity nodes early: the controllers
+        fall back to the room sensors and still converge without
+        condensation."""
+        system = BubbleZero(BubbleZeroConfig(seed=4))
+        start = system.sim.now
+        script = FaultScript([
+            NodeCrash(start + 120.0, f"bt-ceil-hum-{i}") for i in range(4)])
+        script.apply_to(system)
+        system.run(minutes=60)
+        assert system.plant.room.mean_temp_c() == pytest.approx(25.0,
+                                                                abs=1.0)
+        assert system.plant.room.condensation_events == 0
+
+
+class TestChannelJam:
+    def test_jam_occupies_channel(self):
+        system = BubbleZero(BubbleZeroConfig(seed=5))
+        start = system.sim.now
+        FaultScript([ChannelJam(start + 30.0, start + 90.0, duty=0.9)
+                     ]).apply_to(system)
+        system.start()
+        system.run(minutes=3)
+        # The jammer's bursts show up as transmissions and collisions.
+        stats = system.network_stats()
+        assert stats["collision_rate"] > 0.0
+
+    def test_jam_requires_network_mode(self):
+        from repro.core.config import NetworkConfig
+        system = BubbleZero(BubbleZeroConfig(
+            seed=5, network=NetworkConfig(enabled=False)))
+        with pytest.raises(RuntimeError):
+            FaultScript([ChannelJam(system.sim.now + 1.0,
+                                    system.sim.now + 2.0)]).apply_to(system)
+
+    def test_control_recovers_after_jam(self):
+        """A 2-minute 90% jam delays but does not break the control."""
+        system = BubbleZero(BubbleZeroConfig(seed=6))
+        start = system.sim.now
+        FaultScript([ChannelJam(start + 600.0, start + 720.0, duty=0.9)
+                     ]).apply_to(system)
+        system.run(minutes=60)
+        assert system.plant.room.mean_temp_c() == pytest.approx(25.0,
+                                                                abs=1.0)
+        assert system.plant.room.mean_dew_point_c() < 19.0

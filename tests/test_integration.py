@@ -1,0 +1,118 @@
+"""Integration tests: the assembled system end to end.
+
+These exercise shorter horizons than the benchmarks (which reproduce the
+paper's full experiments) but assert the same qualitative behaviours:
+pulldown, condensation safety, disturbance recovery, network operation.
+"""
+
+import pytest
+
+from repro.core.config import BubbleZeroConfig, NetworkConfig
+from repro.core.system import BubbleZero
+from repro.sim.clock import parse_clock
+
+
+@pytest.fixture(scope="module")
+def networked_run():
+    """One shared 75-minute full-stack run (expensive to build)."""
+    system = BubbleZero(BubbleZeroConfig(seed=11))
+    system.schedule_door(parse_clock("14:00"), 15.0)
+    system.start()
+    system.run(minutes=75)
+    system.finalize()
+    return system
+
+
+class TestNetworkedSystem:
+    def test_temperature_pulldown(self, networked_run):
+        system = networked_run
+        # All four subspaces near 25 degC after 75 minutes.
+        for i in range(4):
+            assert system.plant.room.state_of(i).temp_c == pytest.approx(
+                25.0, abs=0.8)
+
+    def test_dew_point_pulldown(self, networked_run):
+        system = networked_run
+        for i in range(4):
+            assert system.plant.room.state_of(i).dew_point_c < 19.0
+
+    def test_no_condensation_ever(self, networked_run):
+        system = networked_run
+        assert system.plant.room.condensation_events == 0
+        assert system.plant.guard.violations == 0
+
+    def test_network_carried_traffic(self, networked_run):
+        stats = networked_run.network_stats()
+        assert stats["transmissions"] > 1000
+        assert stats["collision_rate"] < 0.05
+
+    def test_sniffer_logged_frames(self, networked_run):
+        assert networked_run.sniffer.frame_count > 1000
+
+    def test_adaptive_transmitters_learned(self, networked_run):
+        transmitters = networked_run.adaptive_transmitters()
+        assert len(transmitters) == 16
+        learned = [tx for tx in transmitters if tx.threshold is not None]
+        assert len(learned) >= 12
+
+    def test_bt_lifetimes_beat_fixed_baseline(self, networked_run):
+        system = networked_run
+        elapsed = 75 * 60.0
+        lifetimes = [node.projected_lifetime_years(elapsed)
+                     for node in system.bt_nodes]
+        from repro.net.energy import lifetime_years_at_period
+        fixed = lifetime_years_at_period(2.0)
+        assert sum(lifetimes) / len(lifetimes) > fixed
+
+    def test_traces_recorded(self, networked_run):
+        trace = networked_run.sim.trace
+        assert "subspace/0/temp" in trace
+        assert "outdoor/temp" in trace
+        assert len(trace.series("subspace/0/temp")) > 100
+
+    def test_cop_ordering(self, networked_run):
+        report = networked_run.plant.cop_report()
+        assert report["bubble_c"] > report["bubble_v"]
+        assert report["bubble_zero"] > 1.0
+
+
+class TestDirectSystem:
+    def test_direct_mode_converges(self):
+        config = BubbleZeroConfig(
+            seed=5, network=NetworkConfig(enabled=False))
+        system = BubbleZero(config)
+        system.run(minutes=60)
+        assert system.plant.room.mean_temp_c() == pytest.approx(25.0,
+                                                                abs=0.7)
+        assert system.plant.room.mean_dew_point_c() < 18.8
+        assert system.plant.room.condensation_events == 0
+        assert system.network_stats() == {}
+
+    def test_direct_mode_has_no_radios(self):
+        config = BubbleZeroConfig(network=NetworkConfig(enabled=False))
+        system = BubbleZero(config)
+        assert system.medium is None
+        assert system.bt_nodes == []
+
+
+class TestRunApi:
+    def test_run_requires_positive_duration(self):
+        system = BubbleZero(BubbleZeroConfig())
+        with pytest.raises(ValueError):
+            system.run()
+
+    def test_run_units_compose(self):
+        system = BubbleZero(
+            BubbleZeroConfig(network=NetworkConfig(enabled=False)))
+        system.run(seconds=30.0, minutes=0.5)
+        assert system.sim.clock.elapsed == pytest.approx(60.0)
+
+    def test_occupancy_script(self):
+        from repro.workloads.events import EventScript, OccupancyChange
+        system = BubbleZero(
+            BubbleZeroConfig(network=NetworkConfig(enabled=False)))
+        start = system.sim.now
+        system.schedule_script(EventScript([
+            OccupancyChange(start + 60.0, 2, 3.0)]))
+        system.run(minutes=2)
+        assert system.plant.occupants[2] == 3.0

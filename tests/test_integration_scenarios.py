@@ -1,0 +1,85 @@
+"""Scenario-level integration tests beyond the paper's trial."""
+
+import pytest
+
+from repro.control.supervisor import OccupantPreferences
+from repro.core.config import BubbleZeroConfig, NetworkConfig, OutdoorConfig
+from repro.core.system import BubbleZero
+from repro.physics.weather import TropicalWeather
+
+
+def direct_config(**kwargs):
+    defaults = dict(seed=23, network=NetworkConfig(enabled=False))
+    defaults.update(kwargs)
+    return BubbleZeroConfig(**defaults)
+
+
+class TestPreferenceChanges:
+    def test_occupant_lowers_thermostat_mid_run(self):
+        system = BubbleZero(direct_config())
+        system.run(minutes=50)
+        assert system.plant.room.mean_temp_c() == pytest.approx(25.0,
+                                                                abs=0.7)
+        system.supervisor.apply_preferences(
+            OccupantPreferences(temp_c=23.5, rh_percent=65.2))
+        system.run(minutes=40)
+        assert system.plant.room.mean_temp_c() == pytest.approx(23.5,
+                                                                abs=0.7)
+        assert system.plant.room.condensation_events == 0
+
+    def test_occupant_raises_thermostat_mid_run(self):
+        system = BubbleZero(direct_config())
+        system.run(minutes=50)
+        system.supervisor.apply_preferences(
+            OccupantPreferences(temp_c=26.5, rh_percent=65.2))
+        system.run(minutes=40)
+        # The plant has no active heating: the envelope warms the room
+        # back up toward the relaxed target.
+        assert system.plant.room.mean_temp_c() == pytest.approx(26.5,
+                                                                abs=0.9)
+
+
+class TestWeatherVariation:
+    def test_milder_outdoor_converges_faster(self):
+        mild = BubbleZero(direct_config(
+            outdoor=OutdoorConfig(temp_c=27.0, dew_point_c=24.0)))
+        harsh = BubbleZero(direct_config(
+            outdoor=OutdoorConfig(temp_c=30.5, dew_point_c=27.8)))
+        for system in (mild, harsh):
+            system.run(minutes=45)
+        assert mild.plant.room.mean_temp_c() <= (
+            harsh.plant.room.mean_temp_c() + 0.2)
+        assert mild.plant.room.mean_dew_point_c() < (
+            harsh.plant.room.mean_dew_point_c() + 0.2)
+
+    def test_diurnal_weather_holds_target_through_peak(self):
+        weather = TropicalWeather(mean_temp_c=28.5, swing_c=2.0,
+                                  mean_dew_c=25.0, seed=6)
+        system = BubbleZero(direct_config(
+            start_time_s=12 * 3600.0), weather=weather)
+        system.run(hours=4)  # across the 15:00 peak
+        assert system.plant.room.mean_temp_c() == pytest.approx(25.0,
+                                                                abs=1.0)
+        assert system.plant.room.condensation_events == 0
+
+    def test_extreme_humidity_still_safe(self):
+        """Near-saturated outdoors: slower convergence is acceptable,
+        condensation is not."""
+        system = BubbleZero(direct_config(
+            outdoor=OutdoorConfig(temp_c=30.0, dew_point_c=29.3)))
+        system.run(minutes=90)
+        assert system.plant.room.condensation_events == 0
+        assert system.plant.guard.worst_margin_k > -0.01
+
+
+class TestLongHold:
+    def test_four_hour_equilibrium_is_stable(self):
+        system = BubbleZero(direct_config())
+        system.run(hours=4)
+        times, temps = system.subspace_series(0, "temp")
+        late = temps[times > times[0] + 2 * 3600.0]
+        assert late.max() - late.min() < 1.2  # bounded ripple
+        assert abs(late.mean() - 25.0) < 0.4
+        times, dews = system.subspace_series(0, "dew")
+        late_dew = dews[times > times[0] + 2 * 3600.0]
+        assert abs(late_dew.mean() - 18.0) < 0.8

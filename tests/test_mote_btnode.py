@@ -1,0 +1,103 @@
+"""Tests for the TelosB mote and battery sensor nodes."""
+
+import pytest
+
+from repro.devices.btnode import BtSensorNode, TransmissionMode
+from repro.devices.mote import Mote, PowerSource
+from repro.devices.sensors import SensorModel
+from repro.net.medium import BroadcastMedium
+from repro.net.packet import DataType
+
+
+@pytest.fixture
+def medium(sim):
+    return BroadcastMedium(sim, loss_probability=0.0)
+
+
+class TestMote:
+    def test_broadcast_reaches_subscriber(self, sim, medium):
+        sender = Mote(sim, medium, "a", PowerSource.AC)
+        receiver = Mote(sim, medium, "b", PowerSource.AC)
+        receiver.subscribe(DataType.TEMPERATURE)
+        assert sender.broadcast(DataType.TEMPERATURE, 25.0, key=("room", 0))
+        sim.run(1.0)
+        assert receiver.bus.latest_value(
+            DataType.TEMPERATURE, ("room", 0)) == 25.0
+
+    def test_battery_mote_charged_per_transmission(self, sim, medium):
+        mote = Mote(sim, medium, "bt", PowerSource.BATTERY)
+        mote.broadcast(DataType.HUMIDITY, 60.0)
+        sim.run(1.0)
+        assert mote.energy.packets_sent == 1
+        assert mote.energy.tx_energy_j > 0
+
+    def test_ac_mote_not_battery_charged(self, sim, medium):
+        mote = Mote(sim, medium, "ac", PowerSource.AC)
+        mote.broadcast(DataType.HUMIDITY, 60.0)
+        sim.run(1.0)
+        assert mote.energy.packets_sent == 0
+
+    def test_lifetime_projection_requires_battery(self, sim, medium):
+        mote = Mote(sim, medium, "ac", PowerSource.AC)
+        with pytest.raises(RuntimeError):
+            mote.projected_lifetime_years(3600.0)
+
+
+def make_node(sim, medium, mode=TransmissionMode.ADAPTIVE,
+              measure=lambda: 25.0, device_id="node"):
+    sensor = SensorModel(device_id, measure, sim.rng)
+    return BtSensorNode(sim, medium, device_id, DataType.TEMPERATURE,
+                        ("room", 0), sensor, mode=mode)
+
+
+class TestBtSensorNodeFixed:
+    def test_fixed_mode_sends_at_sampling_period(self, sim, medium):
+        node = make_node(sim, medium, mode=TransmissionMode.FIXED)
+        node.start()
+        sim.run(60.0)
+        # T_spl for temperature is 3 s: ~20 transmissions in a minute.
+        assert 15 <= node.sends <= 22
+        assert node.transmitter is None
+
+    def test_stop_halts_sending(self, sim, medium):
+        node = make_node(sim, medium, mode=TransmissionMode.FIXED)
+        node.start()
+        sim.run(10.0)
+        node.stop()
+        before = node.sends
+        sim.run(30.0)
+        assert node.sends == before
+
+
+class TestBtSensorNodeAdaptive:
+    def test_period_grows_when_stable(self, sim, medium):
+        node = make_node(sim, medium)
+        node.start()
+        sim.run(3600.0)
+        assert node.send_period_s > node.policy.sampling_period_s
+
+    def test_sends_latest_sample_value(self, sim, medium):
+        readings = {"value": 20.0}
+        node = make_node(sim, medium,
+                         measure=lambda: readings["value"])
+        listener = Mote(sim, medium, "listener", PowerSource.AC)
+        listener.subscribe(DataType.TEMPERATURE)
+        node.start()
+        sim.run(60.0)
+        cached = listener.bus.latest_value(DataType.TEMPERATURE, ("room", 0))
+        assert cached == pytest.approx(20.0, abs=0.5)
+
+    def test_tsnd_trace_recorded(self, sim, medium):
+        node = make_node(sim, medium)
+        node.start()
+        sim.run(120.0)
+        series = sim.trace.series(f"tsnd/{node.device_id}")
+        assert len(series) > 0
+
+    def test_finalize_then_lifetime(self, sim, medium):
+        node = make_node(sim, medium)
+        node.start()
+        sim.run(600.0)
+        node.finalize(sim.now)
+        years = node.projected_lifetime_years(600.0)
+        assert 0.1 < years < 10.0

@@ -1,0 +1,173 @@
+"""Tests for the multihop medium and multicast routing."""
+
+import pytest
+
+from repro.net.multihop import (
+    FloodingRouter,
+    MulticastRouter,
+    MultihopMedium,
+    build_multicast_trees,
+)
+from repro.net.packet import DataType, Packet
+from repro.net.topology import NodePlacement, RadioTopology
+
+
+def make_packet(data_type=DataType.TEMPERATURE, source="n0"):
+    return Packet(data_type=data_type, source=source, created_at=0.0,
+                  payload={"value": 1.0})
+
+
+def line_medium(sim, n=5, spacing=10.0, radio_range=12.0, loss=0.0):
+    placements = [NodePlacement(f"n{i}", i * spacing, 0.0)
+                  for i in range(n)]
+    topo = RadioTopology(placements, radio_range)
+    return topo, MultihopMedium(sim, topo, loss_probability=loss)
+
+
+class TestMultihopMedium:
+    def test_only_neighbors_hear(self, sim):
+        topo, medium = line_medium(sim, n=3)
+        heard = []
+        for node in ("n1", "n2"):
+            medium.attach_receiver(
+                node, lambda p, s, node=node: heard.append(node))
+        medium.transmit(make_packet(), "n0")
+        sim.run(1.0)
+        assert heard == ["n1"]  # n2 is out of range
+
+    def test_local_carrier_sense(self, sim):
+        topo, medium = line_medium(sim, n=4)
+        medium.transmit(make_packet(), "n0")
+        assert medium.is_busy_near("n1")     # neighbour of transmitter
+        assert not medium.is_busy_near("n3")  # far away: channel clear
+
+    def test_hidden_terminal_collision(self, sim):
+        """n0 and n2 cannot hear each other but both reach n1: their
+        overlapping frames are lost at n1 only."""
+        topo, medium = line_medium(sim, n=3)
+        received = {"n1": [], "n0": [], "n2": []}
+        for node in received:
+            medium.attach_receiver(
+                node, lambda p, s, node=node: received[node].append(s))
+        medium.transmit(make_packet(source="n0"), "n0")
+        medium.transmit(make_packet(source="n2"), "n2")
+        sim.run(1.0)
+        assert received["n1"] == []  # jammed at the common neighbour
+        assert medium.collision_losses == 2
+
+    def test_spatial_reuse(self, sim):
+        """Far-apart transmitters do not interfere: both frames arrive
+        at their own neighbours."""
+        topo, medium = line_medium(sim, n=6)
+        received = []
+        medium.attach_receiver("n1", lambda p, s: received.append(("n1", s)))
+        medium.attach_receiver("n4", lambda p, s: received.append(("n4", s)))
+        medium.transmit(make_packet(source="n0"), "n0")
+        medium.transmit(make_packet(source="n5"), "n5")
+        sim.run(1.0)
+        assert ("n1", "n0") in received
+        assert ("n4", "n5") in received
+
+    def test_unknown_node_rejected(self, sim):
+        topo, medium = line_medium(sim)
+        with pytest.raises(ValueError):
+            medium.attach_receiver("ghost", lambda p, s: None)
+
+
+class TestFloodingRouter:
+    def test_flood_reaches_whole_line(self, sim):
+        topo, medium = line_medium(sim, n=5)
+        delivered = []
+        routers = {
+            node: FloodingRouter(sim, medium, node,
+                                 on_deliver=lambda p, n: delivered.append(n))
+            for node in topo.node_ids}
+        routers["n4"].subscribe(DataType.TEMPERATURE)
+        routers["n0"].originate(make_packet())
+        sim.run(2.0)
+        assert delivered == ["n4"]  # 4 hops away, reached by flooding
+
+    def test_duplicates_suppressed(self, sim):
+        topo, medium = line_medium(sim, n=4)
+        routers = {node: FloodingRouter(sim, medium, node)
+                   for node in topo.node_ids}
+        routers["n0"].originate(make_packet())
+        sim.run(2.0)
+        total_dups = sum(r.stats.duplicates_suppressed
+                         for r in routers.values())
+        assert total_dups > 0  # middle nodes hear echoes
+        # Each node forwards at most once per packet.
+        for router in routers.values():
+            assert router.stats.forwarded <= 1
+
+    def test_local_subscriber_gets_own_packet(self, sim):
+        topo, medium = line_medium(sim, n=2)
+        delivered = []
+        router = FloodingRouter(sim, medium, "n0",
+                                on_deliver=lambda p, n: delivered.append(n))
+        router.subscribe(DataType.TEMPERATURE)
+        router.originate(make_packet())
+        assert delivered == ["n0"]
+
+
+class TestMulticastRouter:
+    def build(self, sim, n=7):
+        topo, medium = line_medium(sim, n=n)
+        delivered = []
+        routers = {
+            node: MulticastRouter(
+                sim, medium, node,
+                on_deliver=lambda p, node_id: delivered.append(node_id))
+            for node in topo.node_ids}
+        return topo, medium, routers, delivered
+
+    def test_tree_delivers_to_subscribers(self, sim):
+        topo, medium, routers, delivered = self.build(sim)
+        routers["n6"].subscribe(DataType.TEMPERATURE)
+        routers["n3"].subscribe(DataType.TEMPERATURE)
+        build_multicast_trees(topo, routers,
+                              {DataType.TEMPERATURE: ["n0"]})
+        routers["n0"].originate(make_packet())
+        sim.run(3.0)
+        assert set(delivered) == {"n3", "n6"}
+
+    def test_multicast_cheaper_than_flooding(self, sim):
+        """With one nearby subscriber, the tree stops early while the
+        flood crosses the whole network."""
+        topo, medium, routers, _delivered = self.build(sim, n=7)
+        routers["n2"].subscribe(DataType.TEMPERATURE)
+        build_multicast_trees(topo, routers,
+                              {DataType.TEMPERATURE: ["n0"]})
+        routers["n0"].originate(make_packet())
+        sim.run(3.0)
+        multicast_tx = medium.total_transmissions
+
+        sim2 = type(sim)(seed=1)
+        topo2, medium2 = line_medium(sim2, n=7)
+        flood_routers = {node: FloodingRouter(sim2, medium2, node)
+                         for node in topo2.node_ids}
+        flood_routers["n2"].subscribe(DataType.TEMPERATURE)
+        flood_routers["n0"].originate(make_packet())
+        sim2.run(3.0)
+        assert multicast_tx < medium2.total_transmissions
+
+    def test_non_forwarders_stay_quiet(self, sim):
+        topo, medium, routers, _ = self.build(sim)
+        routers["n2"].subscribe(DataType.TEMPERATURE)
+        build_multicast_trees(topo, routers,
+                              {DataType.TEMPERATURE: ["n0"]})
+        routers["n0"].originate(make_packet())
+        sim.run(3.0)
+        assert routers["n5"].stats.forwarded == 0
+        assert routers["n6"].stats.forwarded == 0
+
+    def test_unrelated_type_not_forwarded(self, sim):
+        topo, medium, routers, delivered = self.build(sim)
+        routers["n6"].subscribe(DataType.TEMPERATURE)
+        build_multicast_trees(topo, routers,
+                              {DataType.TEMPERATURE: ["n0"]})
+        routers["n0"].originate(make_packet(data_type=DataType.CO2))
+        sim.run(3.0)
+        assert delivered == []
+        total_forwards = sum(r.stats.forwarded for r in routers.values())
+        assert total_forwards == 0

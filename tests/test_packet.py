@@ -1,0 +1,53 @@
+"""Tests for packets and airtime."""
+
+import pytest
+
+from repro.net.packet import (
+    DataType,
+    MAC_OVERHEAD_BYTES,
+    PHY_OVERHEAD_BYTES,
+    PHY_RATE_BPS,
+    Packet,
+    frame_airtime_s,
+)
+
+
+class TestPacket:
+    def make(self, **overrides):
+        defaults = dict(data_type=DataType.TEMPERATURE, source="dev",
+                        created_at=0.0, payload={"value": 25.0})
+        defaults.update(overrides)
+        return Packet(**defaults)
+
+    def test_frame_size_includes_overhead(self):
+        packet = self.make(payload_bytes=8)
+        assert packet.frame_bytes == 8 + PHY_OVERHEAD_BYTES + MAC_OVERHEAD_BYTES
+
+    def test_airtime_at_250kbps(self):
+        packet = self.make(payload_bytes=8)
+        assert packet.airtime_s() == pytest.approx(
+            packet.frame_bytes * 8.0 / PHY_RATE_BPS)
+
+    def test_packet_ids_unique(self):
+        a, b = self.make(), self.make()
+        assert a.packet_id != b.packet_id
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ValueError):
+            self.make(payload_bytes=200)
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ValueError):
+            self.make(payload_bytes=0)
+
+
+class TestAirtime:
+    def test_default_frame_under_a_millisecond(self):
+        assert frame_airtime_s(8) < 1e-3
+
+    def test_monotone_in_size(self):
+        assert frame_airtime_s(64) > frame_airtime_s(8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            frame_airtime_s(0)

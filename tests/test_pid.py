@@ -1,0 +1,100 @@
+"""Tests for the PID controller."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control.pid import PIDController, PIDGains
+
+
+class TestGains:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PIDGains(kp=-1.0)
+
+
+class TestPIDController:
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            PIDController(PIDGains(1.0), output_limits=(1.0, 1.0))
+
+    def test_rejects_nonpositive_dt(self):
+        pid = PIDController(PIDGains(1.0))
+        with pytest.raises(ValueError):
+            pid.update(0.0, 0.0)
+
+    def test_proportional_action(self):
+        pid = PIDController(PIDGains(kp=0.5), output_limits=(-10, 10),
+                            setpoint=2.0)
+        assert pid.update(0.0, 1.0) == pytest.approx(1.0)  # error 2 * 0.5
+
+    def test_output_clamped(self):
+        pid = PIDController(PIDGains(kp=100.0), output_limits=(0.0, 1.0),
+                            setpoint=10.0)
+        assert pid.update(0.0, 1.0) == 1.0
+        pid.setpoint = -10.0
+        assert pid.update(0.0, 1.0) == 0.0
+
+    def test_integral_accumulates(self):
+        pid = PIDController(PIDGains(kp=0.0, ki=0.1),
+                            output_limits=(-10, 10), setpoint=1.0)
+        first = pid.update(0.0, 1.0)
+        second = pid.update(0.0, 1.0)
+        assert second > first
+
+    def test_antiwindup_blocks_outward_integration(self):
+        """Saturated high with positive error: integral must freeze."""
+        pid = PIDController(PIDGains(kp=1.0, ki=1.0),
+                            output_limits=(0.0, 1.0), setpoint=10.0)
+        for _ in range(100):
+            pid.update(0.0, 1.0)  # error +10, deeply saturated
+        # When the error flips, output must leave the rail quickly,
+        # not bleed off a huge wound-up integral.
+        pid.setpoint = -10.0
+        outputs = [pid.update(0.0, 1.0) for _ in range(3)]
+        assert outputs[-1] == 0.0
+
+    def test_derivative_damps_fast_rise(self):
+        gains = PIDGains(kp=1.0, kd=2.0)
+        with_d = PIDController(gains, output_limits=(-100, 100))
+        without_d = PIDController(PIDGains(kp=1.0), output_limits=(-100, 100))
+        for pid in (with_d, without_d):
+            pid.update(0.0, 1.0)
+        # Measurement rising toward the setpoint: derivative subtracts.
+        assert with_d.update(0.5, 1.0) < without_d.update(0.5, 1.0)
+
+    def test_setpoint_step_does_not_kick_derivative(self):
+        """Derivative is on the measurement, so a setpoint change causes
+        no derivative spike."""
+        pid = PIDController(PIDGains(kp=0.0, kd=5.0),
+                            output_limits=(-100, 100), setpoint=0.0)
+        pid.update(1.0, 1.0)
+        pid.setpoint = 50.0  # big setpoint step
+        assert pid.update(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_reset_clears_state(self):
+        pid = PIDController(PIDGains(kp=1.0, ki=1.0, kd=1.0),
+                            output_limits=(-10, 10), setpoint=1.0)
+        pid.update(0.0, 1.0)
+        pid.reset()
+        assert pid._integral == 0.0
+        assert pid._last_measurement is None
+
+    def test_converges_on_first_order_plant(self):
+        """Closed loop against a simple lag plant reaches the setpoint."""
+        pid = PIDController(PIDGains(kp=2.0, ki=0.5),
+                            output_limits=(0.0, 10.0), setpoint=5.0)
+        state = 0.0
+        for _ in range(300):
+            control = pid.update(state, 0.5)
+            state += 0.5 * (control - state) * 0.5  # tau = 2 s plant
+        assert state == pytest.approx(5.0, abs=0.05)
+
+    @settings(max_examples=30, deadline=None)
+    @given(kp=st.floats(0.0, 5.0), ki=st.floats(0.0, 1.0),
+           measurement=st.floats(-100.0, 100.0))
+    def test_output_always_within_limits(self, kp, ki, measurement):
+        pid = PIDController(PIDGains(kp=kp, ki=ki),
+                            output_limits=(-1.0, 1.0), setpoint=0.0)
+        for _ in range(10):
+            out = pid.update(measurement, 1.0)
+            assert -1.0 <= out <= 1.0

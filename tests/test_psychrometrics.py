@@ -1,0 +1,140 @@
+"""Tests for psychrometric relations, including hypothesis properties.
+
+The Magnus dew-point formula is the paper's own (§III-B, a = 243.12,
+b = 17.62), so these tests double as a check that we implemented the
+paper's equation and not a lookalike.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.physics import psychrometrics as psy
+
+
+class TestDewPoint:
+    def test_saturated_air_dew_equals_temp(self):
+        assert psy.dew_point(25.0, 100.0) == pytest.approx(25.0, abs=1e-9)
+
+    def test_dew_below_temp_when_unsaturated(self):
+        assert psy.dew_point(25.0, 60.0) < 25.0
+
+    def test_known_value_paper_conditions(self):
+        """The paper's target: 25 degC and 18 degC dew point is ~65 %RH."""
+        rh = psy.relative_humidity_from_dew_point(25.0, 18.0)
+        assert 64.0 < rh < 67.0
+
+    def test_magnus_formula_exact(self):
+        """Check the exact algebraic form with the paper's constants."""
+        temp, rh = 28.9, 92.0
+        gamma = math.log(rh / 100.0) + 17.62 * temp / (243.12 + temp)
+        expected = 243.12 * gamma / (17.62 - gamma)
+        assert psy.dew_point(temp, rh) == pytest.approx(expected)
+
+    def test_rejects_zero_humidity(self):
+        with pytest.raises(psy.PsychrometricsError):
+            psy.dew_point(25.0, 0.0)
+
+    def test_rejects_over_100(self):
+        with pytest.raises(psy.PsychrometricsError):
+            psy.dew_point(25.0, 120.0)
+
+    @given(temp=st.floats(-10.0, 50.0), rh=st.floats(1.0, 100.0))
+    def test_dew_never_exceeds_temp(self, temp, rh):
+        assert psy.dew_point(temp, rh) <= temp + 1e-9
+
+    @given(temp=st.floats(0.0, 45.0),
+           rh1=st.floats(5.0, 99.0), rh2=st.floats(5.0, 99.0))
+    def test_dew_monotone_in_humidity(self, temp, rh1, rh2):
+        if rh1 > rh2:
+            rh1, rh2 = rh2, rh1
+        assert (psy.dew_point(temp, rh1)
+                <= psy.dew_point(temp, rh2) + 1e-9)
+
+    @given(temp=st.floats(0.0, 45.0), rh=st.floats(5.0, 100.0))
+    def test_roundtrip_with_inverse(self, temp, rh):
+        dew = psy.dew_point(temp, rh)
+        back = psy.relative_humidity_from_dew_point(temp, dew)
+        assert back == pytest.approx(rh, rel=1e-6, abs=1e-6)
+
+    def test_inverse_rejects_dew_above_temp(self):
+        with pytest.raises(psy.PsychrometricsError):
+            psy.relative_humidity_from_dew_point(20.0, 25.0)
+
+
+class TestSaturationPressure:
+    def test_magnus_reference_value(self):
+        # 611.2 Pa at 0 degC by construction.
+        assert psy.saturation_vapor_pressure(0.0) == pytest.approx(611.2)
+
+    def test_increases_with_temperature(self):
+        assert (psy.saturation_vapor_pressure(30.0)
+                > psy.saturation_vapor_pressure(20.0))
+
+    @given(temp=st.floats(-20.0, 60.0))
+    def test_always_positive(self, temp):
+        assert psy.saturation_vapor_pressure(temp) > 0
+
+
+class TestHumidityRatio:
+    def test_typical_tropical_value(self):
+        """28.9 degC at ~92 %RH (dew 27.4) is about 23 g/kg."""
+        w = psy.humidity_ratio_from_dew_point(27.4)
+        assert 0.022 < w < 0.024
+
+    def test_target_condition_value(self):
+        w = psy.humidity_ratio_from_dew_point(18.0)
+        assert 0.012 < w < 0.014
+
+    @given(dew=st.floats(-5.0, 35.0))
+    def test_dew_roundtrip(self, dew):
+        w = psy.humidity_ratio_from_dew_point(dew)
+        assert psy.dew_point_from_humidity_ratio(w) == pytest.approx(
+            dew, abs=1e-6)
+
+    @given(dew1=st.floats(-5.0, 35.0), dew2=st.floats(-5.0, 35.0))
+    def test_monotone_in_dew(self, dew1, dew2):
+        if dew1 > dew2:
+            dew1, dew2 = dew2, dew1
+        assert (psy.humidity_ratio_from_dew_point(dew1)
+                <= psy.humidity_ratio_from_dew_point(dew2) + 1e-12)
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(psy.PsychrometricsError):
+            psy.dew_point_from_humidity_ratio(0.0)
+
+    def test_humidity_ratio_consistent_with_dew_point(self):
+        w_direct = psy.humidity_ratio(25.0, 65.0)
+        dew = psy.dew_point(25.0, 65.0)
+        w_via_dew = psy.humidity_ratio_from_dew_point(dew)
+        assert w_direct == pytest.approx(w_via_dew, rel=1e-9)
+
+
+class TestEnthalpy:
+    def test_dry_air_reference(self):
+        assert psy.moist_air_enthalpy(0.0, 0.0) == 0.0
+
+    def test_increases_with_temp_and_moisture(self):
+        base = psy.moist_air_enthalpy(20.0, 0.010)
+        assert psy.moist_air_enthalpy(25.0, 0.010) > base
+        assert psy.moist_air_enthalpy(20.0, 0.015) > base
+
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(psy.PsychrometricsError):
+            psy.moist_air_enthalpy(20.0, -0.001)
+
+    def test_latent_term_magnitude(self):
+        """Removing 1 g/kg of moisture is worth ~2.5 kJ/kg."""
+        delta = (psy.moist_air_enthalpy(20.0, 0.011)
+                 - psy.moist_air_enthalpy(20.0, 0.010))
+        assert delta == pytest.approx(2538.2, rel=0.01)
+
+
+class TestCondensation:
+    def test_cold_surface_condenses(self):
+        # 18 degC panel under 25 degC / 80 %RH air (dew ~21.3).
+        assert psy.condensation_occurs(18.0, 25.0, 80.0)
+
+    def test_warm_surface_safe(self):
+        assert not psy.condensation_occurs(22.0, 25.0, 65.0)

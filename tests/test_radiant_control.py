@@ -1,0 +1,90 @@
+"""Tests for the radiant cooling module's control logic (paper §III-B)."""
+
+import pytest
+
+from repro.control.radiant import RadiantCoolingController, RadiantInputs
+
+
+def make_inputs(**overrides):
+    defaults = dict(room_temp_c=27.0, ceiling_dew_point_c=15.0,
+                    supply_temp_c=18.0, return_temp_c=22.0)
+    defaults.update(overrides)
+    return RadiantInputs(**defaults)
+
+
+class TestRadiantController:
+    def test_hot_room_demands_flow(self):
+        controller = RadiantCoolingController("r", preferred_temp_c=25.0)
+        command = controller.step(make_inputs(room_temp_c=28.0), 5.0)
+        assert command.mix_flow_target_lps > 0
+        assert command.supply_voltage > 0
+
+    def test_cool_room_stops_flow(self):
+        controller = RadiantCoolingController("r", preferred_temp_c=25.0)
+        command = controller.step(make_inputs(room_temp_c=23.0), 5.0)
+        assert command.mix_flow_target_lps == 0.0
+
+    def test_dry_air_supplies_tank_water_directly(self):
+        controller = RadiantCoolingController("r")
+        command = controller.step(make_inputs(ceiling_dew_point_c=14.0), 5.0)
+        assert command.mix_temp_target_c == pytest.approx(
+            18.0, abs=controller.dew_margin_k + 1e-9)
+        assert command.recycle_voltage == 0.0
+
+    def test_humid_air_engages_recycle(self):
+        """T_dew^c above T_supp: recycle pump must raise T_mix."""
+        controller = RadiantCoolingController("r")
+        command = controller.step(
+            make_inputs(room_temp_c=28.0, ceiling_dew_point_c=20.0), 5.0)
+        assert command.mix_temp_target_c > 18.0
+        assert command.recycle_voltage > 0.0
+
+    def test_interlock_when_no_safe_mixture_exists(self):
+        """Even pure recycle is below the dew point: pumps stay off."""
+        controller = RadiantCoolingController("r")
+        command = controller.step(
+            make_inputs(room_temp_c=28.9, ceiling_dew_point_c=27.0,
+                        supply_temp_c=18.0, return_temp_c=22.0), 5.0)
+        assert command.supply_voltage == 0.0
+        assert command.recycle_voltage == 0.0
+        assert command.mix_flow_target_lps == 0.0
+
+    def test_interlock_resets_pid(self):
+        controller = RadiantCoolingController("r")
+        # Wind the PID up with a hot room first.
+        controller.step(make_inputs(room_temp_c=30.0), 5.0)
+        controller.step(
+            make_inputs(room_temp_c=30.0, ceiling_dew_point_c=27.0), 5.0)
+        assert controller.pid._integral == 0.0
+
+    def test_flow_increases_with_error(self):
+        controller = RadiantCoolingController("r", preferred_temp_c=25.0)
+        mild = controller.step(make_inputs(room_temp_c=25.5), 5.0)
+        controller2 = RadiantCoolingController("r2", preferred_temp_c=25.0)
+        hot = controller2.step(make_inputs(room_temp_c=29.0), 5.0)
+        assert hot.mix_flow_target_lps > mild.mix_flow_target_lps
+
+    def test_closed_loop_converges_to_preference(self):
+        """Controller + toy room reaches the preferred temperature."""
+        controller = RadiantCoolingController("r", preferred_temp_c=25.0)
+        room_temp = 28.9
+        for _ in range(2000):
+            command = controller.step(
+                make_inputs(room_temp_c=room_temp), 5.0)
+            # Toy plant: cooling proportional to flow; envelope gain.
+            cooling = command.mix_flow_target_lps * 5000.0
+            gain = 180.0 * (28.9 - room_temp) + 160.0
+            room_temp += 5.0 * (gain - cooling) / 4.4e5
+        assert room_temp == pytest.approx(25.0, abs=0.3)
+
+    def test_set_preferred_temp(self):
+        controller = RadiantCoolingController("r")
+        controller.set_preferred_temp(23.0)
+        assert controller.preferred_temp_c == 23.0
+
+    def test_mix_split_respects_pump_curve(self):
+        controller = RadiantCoolingController("r")
+        command = controller.step(
+            make_inputs(room_temp_c=29.0, ceiling_dew_point_c=19.0), 5.0)
+        assert 0.0 <= command.supply_voltage <= 5.0
+        assert 0.0 <= command.recycle_voltage <= 5.0

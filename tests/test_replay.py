@@ -1,0 +1,90 @@
+"""Tests for offline variance-stream replay (the Fig. 12 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.replay import (
+    mean_accuracy_at_n,
+    replay_histogram_accuracy,
+    variance_stream_of,
+)
+from repro.net.adaptive import AdaptivePolicy, AdaptiveTransmitter
+
+
+def bimodal_stream(seed=0, stable=400, spikes=40):
+    rng = np.random.default_rng(seed)
+    times = []
+    variances = []
+    t = 0.0
+    for i in range(stable + spikes):
+        t += 2.0
+        times.append(t)
+        if i % 11 == 10:
+            variances.append(float(rng.uniform(5.0, 8.0)))
+        else:
+            variances.append(float(rng.uniform(0.0, 0.3)))
+    return times, variances
+
+
+class TestReplay:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replay_histogram_accuracy([1.0], [1.0, 2.0], 10)
+        with pytest.raises(ValueError):
+            replay_histogram_accuracy([], [], 10)
+
+    def test_bimodal_high_accuracy_at_large_n(self):
+        times, variances = bimodal_stream()
+        accuracy = replay_histogram_accuracy(times, variances, 40,
+                                             update_period_s=120.0)
+        assert accuracy > 0.9
+
+    def test_accuracy_generally_improves_with_n(self):
+        times, variances = bimodal_stream(seed=3)
+        coarse = replay_histogram_accuracy(times, variances, 3,
+                                           update_period_s=120.0)
+        fine = replay_histogram_accuracy(times, variances, 60,
+                                         update_period_s=120.0)
+        assert fine >= coarse - 0.05
+
+    def test_replay_matches_online_decisions(self):
+        """Replaying a transmitter's own stream at its own N must score
+        close to its online accuracy."""
+        policy = AdaptivePolicy(sampling_period_s=2.0, window_size=5,
+                                threshold_update_period_s=120.0,
+                                histogram_slots=40)
+        transmitter = AdaptiveTransmitter("tx", policy)
+        rng = np.random.default_rng(5)
+        t = 0.0
+        for i in range(1500):
+            t += 2.0
+            value = 20.0 + (8.0 if (i // 200) % 2 else 0.0)
+            transmitter.on_sample(value + rng.normal(0, 0.05), t)
+        times, variances = variance_stream_of(transmitter)
+        replayed = replay_histogram_accuracy(times, variances, 40,
+                                             update_period_s=120.0)
+        online = transmitter.accuracy()
+        assert replayed == pytest.approx(online, abs=0.08)
+
+    def test_mean_accuracy_skips_short_streams(self):
+        policy = AdaptivePolicy(window_size=5)
+        short = AdaptiveTransmitter("short", policy)
+        with pytest.raises(ValueError):
+            mean_accuracy_at_n([short], 40)
+
+    def test_mean_accuracy_averages(self):
+        policy = AdaptivePolicy(sampling_period_s=2.0, window_size=5,
+                                threshold_update_period_s=120.0)
+        transmitters = []
+        rng = np.random.default_rng(9)
+        for seed in range(3):
+            tx = AdaptiveTransmitter(f"tx{seed}", policy)
+            t = 0.0
+            for i in range(300):
+                t += 2.0
+                tx.on_sample(float(rng.normal(20.0, 0.05))
+                             + (6.0 if i % 37 == 0 else 0.0), t)
+            transmitters.append(tx)
+        accuracy = mean_accuracy_at_n(transmitters, 40,
+                                      update_period_s=120.0)
+        assert 0.0 <= accuracy <= 1.0

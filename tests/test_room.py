@@ -1,0 +1,204 @@
+"""Tests for the multi-subspace room model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.physics.room import (
+    ADJACENCY,
+    DOOR_WEIGHTS,
+    WINDOW_WEIGHTS,
+    Room,
+    RoomGeometry,
+    RoomParameters,
+    SubspaceInputs,
+)
+from repro.physics.weather import OutdoorState
+
+
+def idle_inputs(n=4, **overrides):
+    return [SubspaceInputs(equipment_w=0.0, **overrides) for _ in range(n)]
+
+
+OUTDOOR = OutdoorState(temp_c=28.9, dew_point_c=27.4)
+
+
+class TestGeometry:
+    def test_paper_volume(self):
+        geometry = RoomGeometry()
+        assert geometry.volume_m3 == pytest.approx(60.0)
+        assert geometry.subspace_volume_m3 == pytest.approx(15.0)
+
+    def test_weights_are_distributions(self):
+        assert sum(DOOR_WEIGHTS) == pytest.approx(1.0)
+        assert sum(WINDOW_WEIGHTS) == pytest.approx(1.0)
+
+    def test_adjacency_is_2x2_grid(self):
+        assert set(ADJACENCY) == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+
+class TestRoomBasics:
+    def test_initial_state_uniform(self):
+        room = Room(initial_temp_c=28.9, initial_dew_c=27.4)
+        for i in range(4):
+            assert room.state_of(i).temp_c == 28.9
+            assert room.state_of(i).dew_point_c == pytest.approx(27.4)
+
+    def test_rejects_dew_above_temp(self):
+        with pytest.raises(ValueError):
+            Room(initial_temp_c=20.0, initial_dew_c=25.0)
+
+    def test_wrong_input_count_raises(self):
+        room = Room()
+        with pytest.raises(ValueError):
+            room.step(1.0, OUTDOOR, idle_inputs(n=3))
+
+
+class TestThermalBehaviour:
+    def test_relaxes_toward_outdoor(self):
+        """A cool room with no HVAC warms toward the tropical outdoors."""
+        room = Room(initial_temp_c=22.0, initial_dew_c=15.0)
+        for _ in range(600):
+            room.step(1.0, OUTDOOR, idle_inputs())
+        assert room.mean_temp_c() > 22.05
+        assert room.mean_temp_c() < OUTDOOR.temp_c
+
+    def test_equilibrium_never_overshoots_outdoor(self):
+        room = Room(initial_temp_c=25.0, initial_dew_c=18.0)
+        for _ in range(3600):
+            room.step(4.0, OUTDOOR, idle_inputs())
+        assert room.mean_temp_c() <= OUTDOOR.temp_c + 0.01
+
+    def test_panel_cooling_lowers_temperature(self):
+        room = Room()
+        inputs = [SubspaceInputs(panel_heat_w=250.0, equipment_w=0.0)
+                  for _ in range(4)]
+        for _ in range(300):
+            room.step(1.0, OUTDOOR, inputs)
+        assert room.mean_temp_c() < 28.9
+
+    def test_occupants_heat_the_room(self):
+        empty = Room()
+        crowded = Room()
+        occupied = [SubspaceInputs(occupants=3.0, equipment_w=0.0)
+                    for _ in range(4)]
+        for _ in range(600):
+            empty.step(1.0, OUTDOOR, idle_inputs())
+            crowded.step(1.0, OUTDOOR, occupied)
+        assert crowded.mean_temp_c() > empty.mean_temp_c()
+
+    def test_heat_spreads_between_subspaces(self):
+        room = Room(initial_temp_c=25.0, initial_dew_c=15.0)
+        inputs = idle_inputs()
+        inputs[0] = SubspaceInputs(equipment_w=500.0)
+        for _ in range(300):
+            room.step(1.0, OUTDOOR, inputs)
+        # Subspace 0 is hottest; its neighbours warmed more than diagonal.
+        temps = [room.state_of(i).temp_c for i in range(4)]
+        assert temps[0] == max(temps)
+        assert temps[1] > temps[3]
+        assert temps[2] > temps[3]
+
+
+class TestMoisture:
+    def test_dry_supply_air_dries_the_room(self):
+        room = Room()
+        inputs = [SubspaceInputs(vent_flow_m3s=0.01, vent_supply_temp_c=18.0,
+                                 vent_supply_w=0.011, equipment_w=0.0)
+                  for _ in range(4)]
+        w0 = room.mean_humidity_ratio()
+        for _ in range(600):
+            room.step(1.0, OUTDOOR, inputs)
+        assert room.mean_humidity_ratio() < w0
+
+    def test_occupants_add_moisture(self):
+        room = Room(initial_temp_c=25.0, initial_dew_c=15.0)
+        inputs = [SubspaceInputs(occupants=4.0, equipment_w=0.0)
+                  for _ in range(4)]
+        w0 = room.mean_humidity_ratio()
+        for _ in range(600):
+            room.step(1.0, OUTDOOR, inputs)
+        assert room.mean_humidity_ratio() > w0
+
+    def test_door_admits_humid_outdoor_air(self):
+        dry = Room(initial_temp_c=25.0, initial_dew_c=15.0)
+        inputs = idle_inputs(door_open_fraction=0.0)
+        door_inputs = [
+            SubspaceInputs(equipment_w=0.0,
+                           door_open_fraction=DOOR_WEIGHTS[i])
+            for i in range(4)
+        ]
+        for _ in range(60):
+            dry.step(1.0, OUTDOOR, door_inputs)
+        # Door-side subspace 0 wettest.
+        dews = [dry.state_of(i).dew_point_c for i in range(4)]
+        assert dews[0] == max(dews)
+        assert dews[0] > 15.1
+
+    def test_humidity_ratio_never_negative(self):
+        room = Room(initial_temp_c=25.0, initial_dew_c=5.0)
+        inputs = [SubspaceInputs(vent_flow_m3s=0.02, vent_supply_w=1e-5,
+                                 vent_supply_temp_c=20.0, equipment_w=0.0)
+                  for _ in range(4)]
+        for _ in range(3600):
+            room.step(1.0, OUTDOOR, inputs)
+        for i in range(4):
+            assert room.state_of(i).humidity_ratio > 0
+
+
+class TestCO2:
+    def test_occupants_raise_co2(self):
+        room = Room()
+        inputs = [SubspaceInputs(occupants=2.0, equipment_w=0.0)
+                  for _ in range(4)]
+        for _ in range(600):
+            room.step(1.0, OUTDOOR, inputs)
+        assert room.mean_co2_ppm() > 450.0
+
+    def test_ventilation_dilutes_co2(self):
+        room = Room(initial_co2_ppm=1500.0)
+        inputs = [SubspaceInputs(vent_flow_m3s=0.02, equipment_w=0.0,
+                                 vent_supply_w=0.012)
+                  for _ in range(4)]
+        for _ in range(600):
+            room.step(1.0, OUTDOOR, inputs)
+        assert room.mean_co2_ppm() < 1000.0
+
+    def test_co2_floor_is_bounded(self):
+        room = Room(initial_co2_ppm=410.0)
+        inputs = [SubspaceInputs(vent_flow_m3s=0.05, equipment_w=0.0,
+                                 vent_supply_w=0.012)
+                  for _ in range(4)]
+        for _ in range(1200):
+            room.step(1.0, OUTDOOR, inputs)
+        assert room.mean_co2_ppm() >= OUTDOOR.co2_ppm * 0.5
+
+
+class TestIntegrationStability:
+    def test_large_dt_subdivides(self):
+        """A 60 s step must agree closely with 60 x 1 s steps."""
+        fine = Room()
+        coarse = Room()
+        inputs = [SubspaceInputs(panel_heat_w=300.0) for _ in range(4)]
+        for _ in range(60):
+            fine.step(1.0, OUTDOOR, inputs)
+        coarse.step(60.0, OUTDOOR, inputs)
+        assert coarse.mean_temp_c() == pytest.approx(fine.mean_temp_c(),
+                                                     abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(heat=st.floats(0.0, 800.0), flow=st.floats(0.0, 0.02),
+           occupants=st.floats(0.0, 4.0))
+    def test_state_stays_physical(self, heat, flow, occupants):
+        room = Room()
+        inputs = [SubspaceInputs(panel_heat_w=heat, vent_flow_m3s=flow,
+                                 vent_supply_temp_c=16.0,
+                                 vent_supply_w=0.0105,
+                                 occupants=occupants)
+                  for _ in range(4)]
+        for _ in range(120):
+            room.step(5.0, OUTDOOR, inputs)
+        for i in range(4):
+            state = room.state_of(i)
+            assert -10.0 < state.temp_c < 60.0
+            assert 0.0 < state.humidity_ratio < 0.05
+            assert 150.0 < state.co2_ppm < 20000.0

@@ -1,0 +1,92 @@
+"""Tests for AC-device transmission schedule adaptation."""
+
+import pytest
+
+from repro.net.schedule import AcScheduleAdapter, FixedScheduleAdapter
+
+
+class TestAcScheduleAdapter:
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            AcScheduleAdapter(sim, "a", 0.0)
+        with pytest.raises(ValueError):
+            AcScheduleAdapter(sim, "a", 2.0, bins=1)
+
+    def test_next_send_time_respects_period(self, sim):
+        adapter = AcScheduleAdapter(sim, "a", 2.0)
+        first = adapter.next_send_time()
+        assert first > sim.now
+        assert (first - adapter.offset_s) % 2.0 == pytest.approx(0.0,
+                                                                 abs=1e-9)
+
+    def test_observe_busy_accumulates(self, sim):
+        adapter = AcScheduleAdapter(sim, "a", 2.0, bins=4)
+        adapter.observe_busy(adapter.offset_s + 0.1, 0.2)
+        assert sum(adapter._busy_profile) == pytest.approx(0.2)
+
+    def test_observe_busy_rejects_negative(self, sim):
+        adapter = AcScheduleAdapter(sim, "a", 2.0)
+        with pytest.raises(ValueError):
+            adapter.observe_busy(0.0, -1.0)
+
+    def test_observe_busy_spanning_bins_terminates(self, sim):
+        """Durations spanning many bins (and float-edge phases) must not
+        hang — regression test for the bin-boundary round-off loop."""
+        adapter = AcScheduleAdapter(sim, "a", 2.0, bins=20)
+        adapter.observe_busy(adapter.offset_s + 0.0999999999999999, 5.0)
+        assert sum(adapter._busy_profile) == pytest.approx(5.0, rel=1e-6)
+
+    def test_adapts_away_from_busy_phase(self, sim):
+        adapter = AcScheduleAdapter(sim, "a", 2.0, bins=4, adapt_every=1,
+                                    dither_fraction=0.0)
+        # Saturate every bin except bin 2 with observed busy time.
+        bin_width = 2.0 / 4
+        for idx in (0, 1, 3):
+            adapter.observe_busy(adapter.offset_s + idx * bin_width + 0.01,
+                                 0.4)
+        old_offset = adapter.offset_s
+        adapter.on_sent()
+        assert adapter.adaptations == 1
+        new_phase = (adapter.offset_s - old_offset) % 2.0
+        assert new_phase == pytest.approx(2 * bin_width, abs=bin_width / 2)
+
+    def test_no_adaptation_without_observations(self, sim):
+        adapter = AcScheduleAdapter(sim, "a", 2.0, adapt_every=1)
+        offset = adapter.offset_s
+        adapter.on_sent()
+        assert adapter.offset_s == offset
+        assert adapter.adaptations == 0
+
+    def test_adaptation_cadence(self, sim):
+        adapter = AcScheduleAdapter(sim, "a", 2.0, adapt_every=5)
+        adapter.observe_busy(adapter.offset_s + 0.01, 0.1)
+        for _ in range(4):
+            adapter.on_sent()
+        assert adapter.adaptations == 0
+        adapter.on_sent()
+        assert adapter.adaptations == 1
+
+    def test_two_adapters_desynchronise(self, sim):
+        """Two devices that both saw the other's busy period should pick
+        different quiet phases (dither breaks ties)."""
+        a = AcScheduleAdapter(sim, "a", 2.0, bins=10, adapt_every=1)
+        b = AcScheduleAdapter(sim, "b", 2.0, bins=10, adapt_every=1)
+        for adapter, other in ((a, b), (b, a)):
+            adapter.observe_busy(other.offset_s, 0.05)
+            adapter.on_sent()
+        phase_gap = abs(a.next_send_time() - b.next_send_time()) % 2.0
+        assert phase_gap > 1e-3
+
+
+class TestFixedScheduleAdapter:
+    def test_never_moves(self, sim):
+        adapter = FixedScheduleAdapter(sim, "a", 2.0, aligned_offset=0.5,
+                                       adapt_every=1)
+        adapter.observe_busy(0.6, 0.5)
+        adapter.on_sent()
+        assert adapter.offset_s == 0.5
+        assert adapter.adaptations == 0
+
+    def test_aligned_offset_applied(self, sim):
+        adapter = FixedScheduleAdapter(sim, "x", 2.0, aligned_offset=1.3)
+        assert adapter.offset_s == pytest.approx(1.3)

@@ -1,0 +1,107 @@
+"""Tests for the sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.sensors import (
+    ADT7410TemperatureSensor,
+    CO2Sensor,
+    SHT75Sensor,
+    SensorModel,
+    Vision2000FlowSensor,
+)
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(5)
+
+
+class TestSensorModel:
+    def test_noise_free_sensor_reads_truth(self, rng):
+        sensor = SensorModel("s", lambda: 25.0, rng)
+        assert sensor.read() == 25.0
+
+    def test_quantisation(self, rng):
+        sensor = SensorModel("s", lambda: 25.03, rng, quantum=0.1)
+        assert sensor.read() == pytest.approx(25.0)
+
+    def test_offset_is_constant_per_instance(self, rng):
+        sensor = SensorModel("s", lambda: 25.0, rng, offset_std=0.5)
+        readings = [sensor.read() for _ in range(10)]
+        assert len(set(readings)) == 1  # no noise: offset only
+
+    def test_noise_varies(self, rng):
+        sensor = SensorModel("s", lambda: 25.0, rng, noise_std=0.1)
+        readings = [sensor.read() for _ in range(50)]
+        assert np.std(readings) > 0.01
+
+    def test_limits_clamped(self, rng):
+        sensor = SensorModel("s", lambda: -100.0, rng, lower_limit=0.0)
+        assert sensor.read() == 0.0
+
+    def test_reading_counter(self, rng):
+        sensor = SensorModel("s", lambda: 1.0, rng)
+        sensor.read()
+        sensor.read()
+        assert sensor.readings_taken == 2
+
+
+class TestADT7410:
+    def test_quantised_to_13_bits(self, rng):
+        sensor = ADT7410TemperatureSensor("t", lambda: 18.03, rng)
+        reading = sensor.read()
+        assert (reading / 0.0625) == pytest.approx(round(reading / 0.0625))
+
+    def test_accuracy_within_datasheet(self, rng):
+        sensor = ADT7410TemperatureSensor("t", lambda: 18.0, rng)
+        readings = [sensor.read() for _ in range(100)]
+        assert abs(np.mean(readings) - 18.0) < 0.5  # +/-0.5 degC accuracy
+
+
+class TestSHT75:
+    def test_two_channels(self, rng):
+        sensor = SHT75Sensor("sht", lambda: 25.0, lambda: 65.0, rng)
+        assert abs(sensor.read_temperature() - 25.0) < 1.0
+        assert abs(sensor.read_humidity() - 65.0) < 3.0
+
+    def test_rh_clamped_to_physical_range(self, rng):
+        sensor = SHT75Sensor("sht", lambda: 25.0, lambda: 100.0, rng)
+        for _ in range(50):
+            assert 0.1 <= sensor.read_humidity() <= 100.0
+
+
+class TestVision2000:
+    def test_pulse_quantisation(self, rng):
+        sensor = Vision2000FlowSensor("f", lambda: 0.1, rng)
+        quantum = 1.0 / Vision2000FlowSensor.PULSES_PER_LITER
+        reading = sensor.read()
+        assert (reading / quantum) == pytest.approx(round(reading / quantum),
+                                                    abs=1e-6)
+
+    def test_pulse_count_proportional_to_flow(self, rng):
+        slow = Vision2000FlowSensor("f1", lambda: 0.05, rng)
+        fast = Vision2000FlowSensor("f2", lambda: 0.15, rng)
+        assert fast.pulse_count() > slow.pulse_count()
+
+    def test_zero_flow_zero_pulses(self, rng):
+        sensor = Vision2000FlowSensor("f", lambda: 0.0, rng)
+        assert sensor.pulse_count() == 0
+
+    def test_never_negative(self, rng):
+        sensor = Vision2000FlowSensor("f", lambda: 0.0001, rng)
+        for _ in range(50):
+            assert sensor.read() >= 0.0
+
+    def test_rejects_bad_gate(self, rng):
+        with pytest.raises(ValueError):
+            Vision2000FlowSensor("f", lambda: 0.1, rng, gate_s=0.0)
+
+
+class TestCO2Sensor:
+    def test_reads_in_ppm_range(self, rng):
+        sensor = CO2Sensor("c", lambda: 800.0, rng)
+        readings = [sensor.read() for _ in range(100)]
+        assert 700.0 < np.mean(readings) < 900.0
+        assert all(r >= 0 for r in readings)

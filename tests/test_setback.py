@@ -1,0 +1,94 @@
+"""Tests for occupancy-based setback control."""
+
+import pytest
+
+from repro.control.setback import OccupancySetback
+from repro.control.supervisor import OccupantPreferences, Supervisor
+from repro.core.config import BubbleZeroConfig, NetworkConfig
+from repro.core.system import BubbleZero
+from repro.sim.engine import Simulator
+
+
+class FakeOccupancy:
+    def __init__(self, count=0.0):
+        self.count = count
+
+    def __call__(self):
+        return self.count
+
+
+class TestOccupancySetback:
+    def build(self, grace_s=600.0):
+        sim = Simulator(seed=0)
+        supervisor = Supervisor()
+        occupancy = FakeOccupancy()
+        setback = OccupancySetback(sim, supervisor, occupancy,
+                                   grace_s=grace_s, check_period_s=30.0)
+        return sim, supervisor, occupancy, setback
+
+    def test_starts_in_comfort(self):
+        sim, supervisor, occupancy, setback = self.build()
+        setback.start()
+        assert not setback.in_setback
+        assert supervisor.preferences.temp_c == 25.0
+
+    def test_sets_back_after_grace(self):
+        sim, supervisor, occupancy, setback = self.build(grace_s=600.0)
+        setback.start()
+        sim.run(500.0)
+        assert not setback.in_setback  # grace not yet elapsed
+        sim.run(300.0)
+        assert setback.in_setback
+        assert supervisor.preferences.temp_c > 25.0
+
+    def test_brief_absence_does_not_trigger(self):
+        sim, supervisor, occupancy, setback = self.build(grace_s=600.0)
+        occupancy.count = 2.0
+        setback.start()
+        sim.run(300.0)
+        occupancy.count = 0.0
+        sim.run(300.0)   # only 5 min empty
+        occupancy.count = 2.0
+        sim.run(300.0)
+        assert not setback.in_setback
+        assert setback.transitions == 0
+
+    def test_arrival_restores_comfort(self):
+        sim, supervisor, occupancy, setback = self.build(grace_s=60.0)
+        setback.start()
+        sim.run(600.0)
+        assert setback.in_setback
+        occupancy.count = 1.0
+        sim.run(60.0)
+        assert not setback.in_setback
+        assert supervisor.preferences.temp_c == 25.0
+        assert setback.transitions == 2
+
+    def test_rejects_cold_setback(self):
+        sim, supervisor, occupancy, _ = self.build()
+        with pytest.raises(ValueError):
+            OccupancySetback(sim, supervisor, occupancy,
+                             comfort=OccupantPreferences(temp_c=25.0),
+                             setback=OccupantPreferences(temp_c=23.0))
+
+    def test_propagates_to_system_controllers(self):
+        """Against the full (direct-mode) system: an empty afternoon
+        lets the room float up, and arrival pulls it back down."""
+        system = BubbleZero(BubbleZeroConfig(
+            seed=8, network=NetworkConfig(enabled=False)))
+        setback = OccupancySetback(system.sim, system.supervisor,
+                                   system.total_occupancy,
+                                   grace_s=300.0, check_period_s=30.0)
+        system.start()
+        setback.start()
+        system.run(minutes=50)   # pull down while empty... then set back
+        assert setback.in_setback
+        relaxed = system.supervisor.preferences.temp_c
+        # Controllers actually received the relaxed target.
+        for controller in system.supervisor.radiant_controllers:
+            assert controller.preferred_temp_c == relaxed
+        system.plant.set_occupants(0, 2.0)
+        system.run(minutes=2)
+        assert not setback.in_setback
+        for controller in system.supervisor.radiant_controllers:
+            assert controller.preferred_temp_c == 25.0

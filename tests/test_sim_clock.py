@@ -1,0 +1,65 @@
+"""Tests for the simulation clock and wall-clock formatting."""
+
+import pytest
+
+from repro.sim.clock import ClockError, SimClock, format_clock, parse_clock
+
+
+class TestSimClock:
+    def test_starts_at_epoch(self):
+        clock = SimClock(100.0)
+        assert clock.now == 100.0
+        assert clock.start == 100.0
+        assert clock.elapsed == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(50.0)
+        assert clock.now == 50.0
+        assert clock.elapsed == 50.0
+
+    def test_cannot_move_backwards(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.0)
+
+    def test_advance_to_same_time_is_fine(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_wallclock_format(self):
+        clock = SimClock(parse_clock("13:00"))
+        assert clock.wallclock() == "13:00:00"
+
+
+class TestFormatClock:
+    def test_midnight(self):
+        assert format_clock(0) == "00:00:00"
+
+    def test_afternoon(self):
+        assert format_clock(14 * 3600 + 25 * 60) == "14:25:00"
+
+    def test_wraps_past_midnight(self):
+        assert format_clock(25 * 3600) == "01:00:00"
+
+    def test_seconds(self):
+        assert format_clock(45.9) == "00:00:45"
+
+
+class TestParseClock:
+    def test_hh_mm(self):
+        assert parse_clock("13:00") == 13 * 3600.0
+
+    def test_hh_mm_ss(self):
+        assert parse_clock("14:05:15") == 14 * 3600 + 5 * 60 + 15.0
+
+    def test_roundtrip(self):
+        assert format_clock(parse_clock("09:41:07")) == "09:41:07"
+
+    @pytest.mark.parametrize("bad", ["13", "13:99", "1:2:3:4", "13:00:61"])
+    def test_rejects_bad_strings(self, bad):
+        with pytest.raises(ValueError):
+            parse_clock(bad)

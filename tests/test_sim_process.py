@@ -1,0 +1,104 @@
+"""Tests for PeriodicTask — including the BT-ADPT reschedule semantics."""
+
+import pytest
+
+from repro.sim.process import PeriodicTask
+
+
+class TestPeriodicTask:
+    def test_fires_every_period(self, sim):
+        fired = []
+        task = PeriodicTask(sim, "t", 2.0, lambda now: fired.append(now))
+        task.start()
+        sim.run(7.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_phase_controls_first_firing(self, sim):
+        fired = []
+        task = PeriodicTask(sim, "t", 5.0, lambda now: fired.append(now),
+                            phase=1.0)
+        task.start()
+        sim.run(12.0)
+        assert fired == [1.0, 6.0, 11.0]
+
+    def test_stop_halts_firings(self, sim):
+        fired = []
+        task = PeriodicTask(sim, "t", 1.0, lambda now: fired.append(now))
+        task.start()
+        sim.run(3.5)
+        task.stop()
+        sim.run(5.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_rejects_nonpositive_period(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, "t", 0.0, lambda now: None)
+
+    def test_rejects_negative_jitter(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, "t", 1.0, lambda now: None, jitter=-0.5)
+
+    def test_set_period_with_reschedule(self, sim):
+        """The paper's reset: next firing happens new-period from *now*."""
+        fired = []
+        task = PeriodicTask(sim, "t", 10.0, lambda now: fired.append(now))
+        task.start()
+        sim.run(5.0)                       # pending firing at t=10
+        task.set_period(2.0)               # reschedule: next at t=7
+        sim.run(3.0)
+        assert fired == [7.0]
+
+    def test_set_period_without_reschedule_keeps_pending(self, sim):
+        fired = []
+        task = PeriodicTask(sim, "t", 10.0, lambda now: fired.append(now))
+        task.start()
+        sim.run(5.0)
+        task.set_period(2.0, reschedule=False)
+        sim.run(6.0)                        # pending firing at t=10 stays
+        assert fired[0] == 10.0
+
+    def test_fire_now(self, sim):
+        fired = []
+        task = PeriodicTask(sim, "t", 10.0, lambda now: fired.append(now))
+        task.start()
+        sim.run(3.0)
+        task.fire_now()
+        assert fired == [3.0]
+        sim.run(11.0)                       # next at 13.0
+        assert fired == [3.0, 13.0]
+
+    def test_double_start_is_idempotent(self, sim):
+        fired = []
+        task = PeriodicTask(sim, "t", 1.0, lambda now: fired.append(now))
+        task.start()
+        task.start()
+        sim.run(2.5)
+        assert fired == [1.0, 2.0]
+
+    def test_action_can_stop_task(self, sim):
+        fired = []
+
+        def action(now):
+            fired.append(now)
+            if len(fired) == 2:
+                task.stop()
+
+        task = PeriodicTask(sim, "t", 1.0, action)
+        task.start()
+        sim.run(10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_jitter_stays_within_bound(self, sim):
+        fired = []
+        task = PeriodicTask(sim, "t", 10.0, lambda now: fired.append(now),
+                            jitter=2.0)
+        task.start()
+        sim.run(100.0)
+        intervals = [b - a for a, b in zip(fired, fired[1:])]
+        assert all(10.0 <= i <= 12.0 + 1e-9 for i in intervals)
+
+    def test_invocation_counter(self, sim):
+        task = PeriodicTask(sim, "t", 1.0, lambda now: None)
+        task.start()
+        sim.run(5.5)
+        assert task.invocations == 5

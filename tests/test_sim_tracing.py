@@ -1,0 +1,86 @@
+"""Tests for trace recording and resampling."""
+
+import numpy as np
+import pytest
+
+from repro.sim.tracing import TraceRecorder, TraceSeries, resample
+
+
+class TestTraceSeries:
+    def test_append_and_read(self):
+        series = TraceSeries("x")
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        assert list(series.times()) == [1.0, 2.0]
+        assert list(series.values()) == [10.0, 20.0]
+        assert len(series) == 2
+
+    def test_rejects_nonmonotonic_time(self):
+        series = TraceSeries("x")
+        series.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(4.0, 2.0)
+
+    def test_last(self):
+        series = TraceSeries("x")
+        assert series.last() is None
+        series.append(1.0, 7.0)
+        assert series.last() == (1.0, 7.0)
+
+    def test_value_at_zero_order_hold(self):
+        series = TraceSeries("x")
+        series.append(0.0, 1.0)
+        series.append(10.0, 2.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 2.0
+        assert series.value_at(99.0) == 2.0
+
+    def test_value_at_before_first_sample_raises(self):
+        series = TraceSeries("x")
+        series.append(5.0, 1.0)
+        with pytest.raises(LookupError):
+            series.value_at(1.0)
+
+    def test_value_at_empty_raises(self):
+        with pytest.raises(LookupError):
+            TraceSeries("x").value_at(0.0)
+
+    def test_window(self):
+        series = TraceSeries("x")
+        for t in range(10):
+            series.append(float(t), float(t * t))
+        times, values = series.window(2.0, 5.0)
+        assert list(times) == [2.0, 3.0, 4.0, 5.0]
+        assert list(values) == [4.0, 9.0, 16.0, 25.0]
+
+
+class TestTraceRecorder:
+    def test_record_creates_series(self):
+        recorder = TraceRecorder()
+        recorder.record("a/b", 1.0, 2.0)
+        assert "a/b" in recorder
+        assert recorder.series("a/b").last() == (1.0, 2.0)
+
+    def test_matching_prefix(self):
+        recorder = TraceRecorder()
+        recorder.record("sub/0/temp", 0.0, 1.0)
+        recorder.record("sub/1/temp", 0.0, 2.0)
+        recorder.record("other", 0.0, 3.0)
+        assert len(recorder.matching("sub/")) == 2
+
+    def test_summary(self):
+        recorder = TraceRecorder()
+        recorder.record("x", 0.0, 1.0)
+        recorder.record("x", 1.0, 1.0)
+        assert recorder.summary() == {"x": 2}
+
+
+class TestResample:
+    def test_zero_order_hold(self):
+        grid = np.array([0.0, 1.0, 2.0, 3.0])
+        out = resample([0.5, 2.5], [10.0, 20.0], grid)
+        assert list(out) == [10.0, 10.0, 10.0, 20.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            resample([], [], np.array([0.0]))

@@ -1,0 +1,53 @@
+"""Tests for occupant preferences and the supervisor."""
+
+import pytest
+
+from repro.control.radiant import RadiantCoolingController
+from repro.control.supervisor import OccupantPreferences, Supervisor
+from repro.control.ventilation import VentilationController
+
+
+class TestOccupantPreferences:
+    def test_defaults_match_paper_targets(self):
+        prefs = OccupantPreferences()
+        assert prefs.temp_c == 25.0
+        assert prefs.dew_point_c == pytest.approx(18.0, abs=0.2)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(temp_c=10.0), dict(temp_c=40.0),
+        dict(rh_percent=10.0), dict(rh_percent=95.0),
+        dict(co2_ppm=300.0),
+    ])
+    def test_rejects_unreasonable_values(self, kwargs):
+        with pytest.raises(ValueError):
+            OccupantPreferences(**kwargs)
+
+
+class TestSupervisor:
+    def make(self):
+        supervisor = Supervisor()
+        radiant = RadiantCoolingController("r")
+        vent = VentilationController("v", subspace_volume_m3=15.0)
+        supervisor.register_radiant(radiant)
+        supervisor.register_ventilation(vent)
+        return supervisor, radiant, vent
+
+    def test_registration_pushes_current_preferences(self):
+        supervisor, radiant, vent = self.make()
+        assert radiant.preferred_temp_c == 25.0
+        assert vent.preferred_temp_c == 25.0
+
+    def test_apply_preferences_fans_out(self):
+        supervisor, radiant, vent = self.make()
+        supervisor.apply_preferences(
+            OccupantPreferences(temp_c=23.0, rh_percent=55.0,
+                                co2_ppm=700.0))
+        assert radiant.preferred_temp_c == 23.0
+        assert vent.preferred_temp_c == 23.0
+        assert vent.preferred_rh_percent == 55.0
+        assert vent.co2_target_ppm == 700.0
+
+    def test_controller_lists_are_copies(self):
+        supervisor, radiant, _vent = self.make()
+        supervisor.radiant_controllers.clear()
+        assert supervisor.radiant_controllers == [radiant]

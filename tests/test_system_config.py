@@ -1,0 +1,84 @@
+"""System-level configuration interplay tests."""
+
+import pytest
+
+from repro.core.config import BubbleZeroConfig, NetworkConfig, OutdoorConfig
+from repro.core.system import BubbleZero
+from repro.sim.clock import parse_clock
+
+
+class TestSystemConstruction:
+    def test_network_mode_builds_full_fleet(self):
+        system = BubbleZero(BubbleZeroConfig(seed=1))
+        assert len(system.bt_nodes) == 16
+        assert len(system.boards) == 11  # C1, C2, V1, 4x V2, 4x V3
+        board_ids = {board.device_id for board in system.boards}
+        assert {"control-c1", "control-c2", "control-v1"} <= board_ids
+
+    def test_fixed_mode_has_no_transmitters(self):
+        system = BubbleZero(BubbleZeroConfig(
+            seed=1, network=NetworkConfig(bt_mode="fixed")))
+        assert system.adaptive_transmitters() == []
+        assert all(node.transmitter is None for node in system.bt_nodes)
+
+    def test_histogram_slots_propagate(self):
+        system = BubbleZero(BubbleZeroConfig(
+            seed=1, network=NetworkConfig(histogram_slots=20)))
+        for tx in system.adaptive_transmitters():
+            assert tx.histogram.n_slots == 20
+
+    def test_oracle_tracking_disabled(self):
+        system = BubbleZero(BubbleZeroConfig(
+            seed=1, network=NetworkConfig(track_oracle=False)))
+        for tx in system.adaptive_transmitters():
+            assert tx.oracle is None
+
+    def test_custom_outdoor_condition(self):
+        system = BubbleZero(BubbleZeroConfig(
+            seed=1, outdoor=OutdoorConfig(temp_c=31.0, dew_point_c=25.0)))
+        state = system.plant.outdoor(system.sim.now)
+        assert state.temp_c == 31.0
+        assert state.dew_point_c == 25.0
+
+    def test_start_time_respected(self):
+        config = BubbleZeroConfig(seed=1,
+                                  start_time_s=parse_clock("09:00"))
+        system = BubbleZero(config)
+        assert system.sim.now == parse_clock("09:00")
+
+    def test_supervisor_registered_all_controllers(self):
+        system = BubbleZero(BubbleZeroConfig(seed=1))
+        # 2 radiant (C2) + 4 (V1) + 4 (V2) ventilation controllers.
+        assert len(system.supervisor.radiant_controllers) == 2
+        assert len(system.supervisor.ventilation_controllers) == 8
+
+    def test_supervisor_in_direct_mode(self):
+        system = BubbleZero(BubbleZeroConfig(
+            seed=1, network=NetworkConfig(enabled=False)))
+        assert len(system.supervisor.radiant_controllers) == 2
+        assert len(system.supervisor.ventilation_controllers) == 4
+
+    def test_preference_change_reaches_boards(self):
+        system = BubbleZero(BubbleZeroConfig(seed=1))
+        from repro.control.supervisor import OccupantPreferences
+        system.supervisor.apply_preferences(
+            OccupantPreferences(temp_c=23.5))
+        for controller in system.supervisor.radiant_controllers:
+            assert controller.preferred_temp_c == 23.5
+
+    def test_same_seed_same_trajectory(self):
+        results = []
+        for _ in range(2):
+            system = BubbleZero(BubbleZeroConfig(seed=77))
+            system.run(minutes=5)
+            results.append((system.plant.room.mean_temp_c(),
+                            system.network_stats()["transmissions"]))
+        assert results[0] == results[1]
+
+    def test_different_seed_different_noise(self):
+        temps = []
+        for seed in (1, 2):
+            system = BubbleZero(BubbleZeroConfig(seed=seed))
+            system.run(minutes=5)
+            temps.append(system.bt_nodes[0].latest_sample)
+        assert temps[0] != temps[1]

@@ -1,0 +1,103 @@
+"""Tests for clock drift and time synchronisation."""
+
+import pytest
+
+from repro.net.timesync import (
+    DriftingClock,
+    SyncState,
+    TimeSyncProtocol,
+    align_timestamps,
+)
+from repro.sim.engine import Simulator
+
+
+class TestDriftingClock:
+    def test_offset_and_skew(self):
+        clock = DriftingClock(skew_ppm=40.0, offset_s=1.5)
+        assert clock.local_time(0.0) == 1.5
+        # 40 ppm over 1000 s drifts 40 ms.
+        assert clock.local_time(1000.0) == pytest.approx(1001.54)
+
+    def test_roundtrip(self):
+        clock = DriftingClock(skew_ppm=-25.0, offset_s=-0.3)
+        for t in (0.0, 123.4, 99999.0):
+            assert clock.true_from_local(clock.local_time(t)) == \
+                pytest.approx(t, abs=1e-9)
+
+    def test_unsynchronised_drift_accumulates(self):
+        """40 ppm apart, two clocks disagree by ~14 s per day."""
+        a = DriftingClock(skew_ppm=20.0)
+        b = DriftingClock(skew_ppm=-20.0)
+        day = 86400.0
+        gap = abs(a.local_time(day) - b.local_time(day))
+        assert gap == pytest.approx(40e-6 * day, rel=1e-6)
+
+
+class TestSyncState:
+    def test_first_beacon_fixes_offset(self):
+        state = SyncState()
+        state.absorb_beacon(local=100.0, reference=90.0)
+        assert state.to_reference(100.0) == pytest.approx(90.0)
+
+    def test_second_beacon_fixes_skew(self):
+        state = SyncState()
+        # Local runs 2x fast relative to reference (exaggerated).
+        state.absorb_beacon(local=0.0, reference=0.0)
+        state.absorb_beacon(local=200.0, reference=100.0)
+        assert state.alpha == pytest.approx(0.5)
+        assert state.to_reference(300.0) == pytest.approx(150.0)
+
+
+class TestTimeSyncProtocol:
+    def build(self, beacon_period=60.0):
+        sim = Simulator(seed=0)
+        reference = DriftingClock(skew_ppm=5.0, offset_s=0.2)
+        clocks = {
+            "a": DriftingClock(skew_ppm=35.0, offset_s=-1.0),
+            "b": DriftingClock(skew_ppm=-28.0, offset_s=2.5),
+        }
+        protocol = TimeSyncProtocol(sim, reference, clocks,
+                                    beacon_period_s=beacon_period)
+        return sim, protocol
+
+    def test_error_bounded_after_two_beacons(self):
+        sim, protocol = self.build()
+        protocol.start()
+        sim.run(180.0)  # three beacons
+        assert protocol.worst_error_s() < 5e-3
+
+    def test_error_stays_bounded_long_term(self):
+        sim, protocol = self.build()
+        protocol.start()
+        sim.run(4 * 3600.0)
+        # Skew-compensated sync holds millisecond-scale error for hours.
+        assert protocol.worst_error_s() < 5e-3
+
+    def test_without_sync_error_grows(self):
+        sim, protocol = self.build()
+        # Never started: states are identity mappings.
+        sim.run(4 * 3600.0)
+        assert protocol.worst_error_s() > 0.1
+
+    def test_stop_halts_beacons(self):
+        sim, protocol = self.build()
+        protocol.start()
+        sim.run(120.0)
+        protocol.stop()
+        beacons_at_stop = protocol.states["a"].beacons_seen
+        sim.run(600.0)
+        assert protocol.states["a"].beacons_seen == beacons_at_stop
+
+    def test_rejects_bad_period(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            TimeSyncProtocol(sim, DriftingClock(0.0), {}, beacon_period_s=0)
+
+
+class TestAlignTimestamps:
+    def test_alignment(self):
+        state = SyncState()
+        state.absorb_beacon(local=10.0, reference=0.0)
+        state.absorb_beacon(local=110.0, reference=100.0)
+        aligned = align_timestamps({"n": state}, {"n": [10.0, 60.0, 110.0]})
+        assert aligned["n"] == pytest.approx([0.0, 50.0, 100.0])

@@ -1,0 +1,105 @@
+"""Tests for the multihop radio topology."""
+
+import pytest
+
+from repro.net.topology import (
+    NodePlacement,
+    RadioTopology,
+    corridor_deployment,
+)
+
+
+def line_topology(n=4, spacing=10.0, radio_range=12.0):
+    placements = [NodePlacement(f"n{i}", i * spacing, 0.0)
+                  for i in range(n)]
+    return RadioTopology(placements, radio_range)
+
+
+class TestRadioTopology:
+    def test_disk_graph_edges(self):
+        topo = line_topology()
+        assert topo.in_range("n0", "n1")
+        assert not topo.in_range("n0", "n2")
+
+    def test_neighbors(self):
+        topo = line_topology()
+        assert topo.neighbors("n1") == ["n0", "n2"]
+        assert topo.neighbors("n0") == ["n1"]
+
+    def test_hop_distance(self):
+        topo = line_topology()
+        assert topo.hop_distance("n0", "n3") == 3
+        assert topo.hop_distance("n0", "n0") == 0
+
+    def test_partitioned_topology(self):
+        placements = [NodePlacement("a", 0, 0),
+                      NodePlacement("b", 100.0, 0)]
+        topo = RadioTopology(placements, 10.0)
+        assert not topo.is_connected()
+        assert topo.hop_distance("a", "b") is None
+
+    def test_diameter(self):
+        topo = line_topology(n=5)
+        assert topo.diameter_hops() == 4
+
+    def test_diameter_partitioned_raises(self):
+        topo = RadioTopology([NodePlacement("a", 0, 0),
+                              NodePlacement("b", 99, 0)], 1.0)
+        with pytest.raises(ValueError):
+            topo.diameter_hops()
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            RadioTopology([NodePlacement("x", 0, 0),
+                           NodePlacement("x", 1, 0)], 10.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            RadioTopology([NodePlacement("x", 0, 0)], 0.0)
+
+
+class TestSteinerTree:
+    def test_covers_terminals(self):
+        topo = line_topology(n=6)
+        edges = topo.steiner_tree_edges(["n0", "n5"])
+        nodes = {n for edge in edges for n in edge}
+        assert "n0" in nodes and "n5" in nodes
+        assert len(edges) == 5  # the whole line
+
+    def test_prunes_to_tree(self):
+        # A 3x3 grid: tree edges = nodes - 1 for the covered subgraph.
+        placements = [NodePlacement(f"g{i}{j}", i * 10.0, j * 10.0)
+                      for i in range(3) for j in range(3)]
+        topo = RadioTopology(placements, 11.0)
+        edges = topo.steiner_tree_edges(["g00", "g22", "g02"])
+        nodes = {n for edge in edges for n in edge}
+        assert len(edges) == len(nodes) - 1  # acyclic and connected
+
+    def test_trivial_groups(self):
+        topo = line_topology()
+        assert topo.steiner_tree_edges(["n0"]) == []
+        assert topo.steiner_tree_edges([]) == []
+
+
+class TestCorridorDeployment:
+    def test_counts(self):
+        placements = corridor_deployment(rooms=4, sensors_per_room=3)
+        assert len(placements) == 4 * (1 + 3)
+
+    def test_multihop_at_telosb_range(self):
+        """Adjacent rooms connect; distant rooms need several hops."""
+        placements = corridor_deployment(rooms=6, sensors_per_room=2,
+                                         room_pitch_m=12.0)
+        topo = RadioTopology(placements, radio_range_m=15.0)
+        assert topo.is_connected()
+        hops = topo.hop_distance("room0/ctrl", "room5/ctrl")
+        assert hops >= 3  # genuinely multihop
+
+    def test_rejects_zero_rooms(self):
+        with pytest.raises(ValueError):
+            corridor_deployment(rooms=0)
+
+    def test_deterministic_in_seed(self):
+        a = corridor_deployment(rooms=3, seed=5)
+        b = corridor_deployment(rooms=3, seed=5)
+        assert a == b

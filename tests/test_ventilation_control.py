@@ -1,0 +1,149 @@
+"""Tests for the distributed ventilation control logic (paper §III-C)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control.ventilation import (
+    CONTROL_HORIZON_S,
+    VentilationController,
+    VentilationInputs,
+    air_volume_for_co2,
+    air_volume_for_humidity,
+)
+
+
+def make_inputs(**overrides):
+    defaults = dict(room_temp_c=25.0, room_dew_point_c=22.0,
+                    room_co2_ppm=500.0, supply_water_temp_c=18.0,
+                    airbox_out_dew_point_c=16.0)
+    defaults.update(overrides)
+    return VentilationInputs(**defaults)
+
+
+def make_controller(**overrides):
+    defaults = dict(subspace_volume_m3=15.0, preferred_temp_c=25.0,
+                    preferred_rh_percent=65.2)
+    defaults.update(overrides)
+    return VentilationController("v", **defaults)
+
+
+class TestAirVolumeFormulas:
+    def test_humidity_no_surplus_no_volume(self):
+        assert air_volume_for_humidity(15.0, 0.012, 0.013, 0.010) == 0.0
+
+    def test_humidity_basic(self):
+        # Surplus is half the leverage: half an air change.
+        volume = air_volume_for_humidity(15.0, 0.014, 0.013, 0.012)
+        assert volume == pytest.approx(7.5)
+
+    def test_humidity_useless_supply(self):
+        """Supply as wet as the room cannot dry it."""
+        assert air_volume_for_humidity(15.0, 0.014, 0.013, 0.014) == 0.0
+
+    def test_co2_basic(self):
+        volume = air_volume_for_co2(15.0, 1200.0, 800.0, 400.0)
+        assert volume == pytest.approx(7.5)
+
+    def test_co2_below_target(self):
+        assert air_volume_for_co2(15.0, 500.0, 800.0, 400.0) == 0.0
+
+    def test_rejects_bad_volume(self):
+        with pytest.raises(ValueError):
+            air_volume_for_humidity(0.0, 0.014, 0.013, 0.012)
+
+    @given(current=st.floats(0.010, 0.025), target=st.floats(0.010, 0.02),
+           supply=st.floats(0.008, 0.015))
+    def test_volume_never_negative(self, current, target, supply):
+        assert air_volume_for_humidity(15.0, current, target, supply) >= 0.0
+
+
+class TestVentilationController:
+    def test_preferred_dew_point(self):
+        controller = make_controller()
+        assert controller.preferred_dew_point() == pytest.approx(18.0,
+                                                                 abs=0.1)
+
+    def test_wet_room_demands_high_fan_speed(self):
+        controller = make_controller()
+        command = controller.step(make_inputs(room_dew_point_c=24.0), 5.0)
+        assert command.fan_speed_step >= 4
+        assert command.flap_open
+
+    def test_dry_room_trickles(self):
+        controller = make_controller()
+        command = controller.step(make_inputs(room_dew_point_c=16.0,
+                                              room_co2_ppm=450.0), 5.0)
+        assert command.fan_speed_step == 1  # min fresh air only
+
+    def test_room_target_capped_by_supply_water(self):
+        controller = make_controller(preferred_rh_percent=80.0)
+        command = controller.step(make_inputs(), 5.0)
+        assert command.room_dew_target_c <= 18.0 + 1e-9
+
+    def test_pulldown_target_two_below(self):
+        controller = make_controller()
+        command = controller.step(make_inputs(room_dew_point_c=24.0), 5.0)
+        assert command.supply_dew_target_c == pytest.approx(
+            command.room_dew_target_c - 2.0)
+
+    def test_co2_drives_fans_when_humidity_fine(self):
+        controller = make_controller()
+        command = controller.step(
+            make_inputs(room_dew_point_c=16.0, room_co2_ppm=1400.0), 5.0)
+        assert command.fan_speed_step > 1
+
+    def test_fan_flow_covers_worst_surplus(self):
+        controller = make_controller()
+        command = controller.step(
+            make_inputs(room_dew_point_c=21.0, room_co2_ppm=1400.0), 5.0)
+        v_co2 = air_volume_for_co2(15.0, 1400.0, 800.0, 400.0)
+        assert command.fan_flow_demand_m3s >= min(
+            v_co2 / CONTROL_HORIZON_S, 0.02) - 1e-9
+
+    def test_wet_outlet_increases_coil_command(self):
+        controller = make_controller()
+        wet = controller.step(
+            make_inputs(airbox_out_dew_point_c=24.0,
+                        room_dew_point_c=24.0), 5.0)
+        controller2 = make_controller()
+        dry = controller2.step(
+            make_inputs(airbox_out_dew_point_c=14.0,
+                        room_dew_point_c=24.0), 5.0)
+        assert wet.coil_pump_voltage > dry.coil_pump_voltage
+
+    def test_flap_follows_fans(self):
+        controller = make_controller()
+        command = controller.step(make_inputs(room_dew_point_c=24.0), 5.0)
+        assert command.flap_open == (command.fan_speed_step > 0)
+
+    def test_set_preferences(self):
+        controller = make_controller()
+        controller.set_preferences(23.0, 55.0)
+        assert controller.preferred_temp_c == 23.0
+        assert controller.preferred_rh_percent == 55.0
+
+    def test_rejects_bad_volume(self):
+        with pytest.raises(ValueError):
+            VentilationController("v", subspace_volume_m3=0.0)
+
+    def test_closed_loop_dries_toy_room(self):
+        """Controller + toy moisture balance pulls dew toward target."""
+        from repro.physics.psychrometrics import (
+            dew_point_from_humidity_ratio,
+            humidity_ratio_from_dew_point,
+        )
+        controller = make_controller()
+        w = humidity_ratio_from_dew_point(24.0)
+        outlet_dew = 24.0
+        for _ in range(720):
+            dew = dew_point_from_humidity_ratio(w)
+            command = controller.step(
+                make_inputs(room_dew_point_c=dew,
+                            airbox_out_dew_point_c=outlet_dew), 5.0)
+            # Toy coil: outlet dew tracks the target with a lag.
+            outlet_dew += 0.2 * (command.supply_dew_target_c - outlet_dew)
+            supply_w = humidity_ratio_from_dew_point(outlet_dew)
+            flow = command.fan_flow_demand_m3s
+            w += 5.0 * flow * (supply_w - w) / 15.0
+        final_dew = dew_point_from_humidity_ratio(w)
+        assert final_dew < 18.5

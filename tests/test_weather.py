@@ -1,0 +1,54 @@
+"""Tests for the weather models."""
+
+import pytest
+
+from repro.physics.weather import ConstantWeather, OutdoorState, TropicalWeather
+
+
+class TestConstantWeather:
+    def test_paper_operating_point(self):
+        weather = ConstantWeather()
+        state = weather.state_at(0.0)
+        assert state.temp_c == 28.9
+        assert state.dew_point_c == 27.4
+
+    def test_time_invariant(self):
+        weather = ConstantWeather(30.0, 25.0)
+        assert weather.state_at(0.0) == weather.state_at(86400.0)
+
+    def test_rejects_dew_above_temp(self):
+        with pytest.raises(ValueError):
+            ConstantWeather(temp_c=25.0, dew_point_c=26.0)
+
+    def test_humidity_ratio_accessor(self):
+        state = OutdoorState(28.9, 27.4)
+        assert 0.022 < state.humidity_ratio < 0.024
+
+
+class TestTropicalWeather:
+    def test_peak_near_configured_hour(self):
+        weather = TropicalWeather(noise_c=0.0, peak_hour=15.0)
+        peak = weather.state_at(15 * 3600.0).temp_c
+        trough = weather.state_at(3 * 3600.0).temp_c
+        assert peak > trough
+        assert peak == pytest.approx(weather.mean_temp_c + weather.swing_c)
+
+    def test_dew_point_never_exceeds_temp(self):
+        weather = TropicalWeather(noise_c=0.5, seed=3)
+        for hour in range(0, 24):
+            state = weather.state_at(hour * 3600.0)
+            assert state.dew_point_c < state.temp_c
+
+    def test_deterministic_in_seed(self):
+        a = TropicalWeather(seed=9).state_at(12345.0)
+        b = TropicalWeather(seed=9).state_at(12345.0)
+        assert a == b
+
+    def test_rejects_mean_dew_above_mean_temp(self):
+        with pytest.raises(ValueError):
+            TropicalWeather(mean_temp_c=25.0, mean_dew_c=26.0)
+
+    def test_daily_swing_bounded(self):
+        weather = TropicalWeather(noise_c=0.0)
+        temps = [weather.state_at(h * 3600.0).temp_c for h in range(24)]
+        assert max(temps) - min(temps) <= 2 * weather.swing_c + 1e-9

@@ -1,0 +1,106 @@
+"""Tests for event scripts and occupancy schedules."""
+
+import pytest
+
+from repro.sim.clock import parse_clock
+from repro.workloads.events import (
+    DoorEvent,
+    EventScript,
+    OccupancyChange,
+    WindowEvent,
+    paper_phase_two_events,
+    periodic_disturbance_events,
+    periodic_door_events,
+)
+from repro.workloads.occupancy import (
+    OccupancyPeriod,
+    OccupancySchedule,
+    office_day_schedule,
+)
+
+
+class TestEvents:
+    def test_door_event_validation(self):
+        with pytest.raises(ValueError):
+            DoorEvent(start=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            WindowEvent(start=0.0, duration=10.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            OccupancyChange(time=0.0, subspace=0, occupants=-1.0)
+
+    def test_paper_phase_two(self):
+        script = paper_phase_two_events()
+        doors = script.door_events()
+        assert len(doors) == 2
+        assert doors[0].start == parse_clock("14:05")
+        assert doors[0].duration == 15.0
+        assert doors[1].start == parse_clock("14:25")
+        assert doors[1].duration == 120.0
+
+    def test_periodic_door_events_spacing(self):
+        script = periodic_door_events(0.0, 2 * 3600.0, every_s=1800.0)
+        doors = script.door_events()
+        assert [d.start for d in doors] == [1800.0, 3600.0, 5400.0]
+
+    def test_periodic_disturbance_alternates(self):
+        script = periodic_disturbance_events(0.0, 4 * 3600.0, every_s=1800.0)
+        assert len(script.door_events()) > 0
+        assert len(script.window_events()) > 0
+        assert (len(script.door_events()) + len(script.window_events())
+                == len(script.events))
+
+    def test_script_filters(self):
+        script = EventScript([DoorEvent(1.0, 2.0),
+                              OccupancyChange(5.0, 0, 2.0)])
+        assert len(script.door_events()) == 1
+        assert len(script.occupancy_changes()) == 1
+        assert script.earliest() == 1.0
+
+    def test_earliest_empty_raises(self):
+        with pytest.raises(ValueError):
+            EventScript().earliest()
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            periodic_door_events(0.0, -1.0)
+
+
+class TestOccupancy:
+    def test_headcount_lookup(self):
+        schedule = OccupancySchedule([
+            OccupancyPeriod(0.0, 100.0, (1, 0, 0, 0)),
+            OccupancyPeriod(100.0, 200.0, (0, 2, 0, 0)),
+        ])
+        assert schedule.headcount_at(50.0) == (1, 0, 0, 0)
+        assert schedule.headcount_at(150.0) == (0, 2, 0, 0)
+        assert schedule.headcount_at(999.0) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            OccupancySchedule([
+                OccupancyPeriod(0.0, 100.0, (1, 0, 0, 0)),
+                OccupancyPeriod(50.0, 200.0, (0, 1, 0, 0)),
+            ])
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyPeriod(10.0, 5.0, (0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            OccupancyPeriod(0.0, 5.0, (-1, 0, 0, 0))
+
+    def test_to_events_produces_changes(self):
+        schedule = OccupancySchedule([
+            OccupancyPeriod(0.0, 100.0, (1, 0, 0, 0)),
+        ])
+        script = schedule.to_events()
+        changes = script.occupancy_changes()
+        # One arrival at t=0 for subspace 0, one departure at t=100.
+        assert len(changes) == 2
+        assert changes[0].occupants == 1
+        assert changes[1].occupants == 0
+
+    def test_office_day_schedule_sane(self):
+        schedule = office_day_schedule()
+        assert schedule.headcount_at(9.5 * 3600.0) == (1, 1, 0, 0)
+        script = schedule.to_events()
+        assert len(script.occupancy_changes()) > 4
