@@ -22,7 +22,7 @@ from repro.hydronics.pump import DCPump, PumpCurve
 from repro.physics.weather import OutdoorState
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AirboxOutput:
     """Conditioned air delivered to the subspace for one step."""
 
@@ -60,6 +60,10 @@ class Airbox:
             curve=PumpCurve(max_flow_lps=self.coil.max_water_flow_lps),
             rated_power_w=6.0)
         self._coil_flow_effective_lps = 0.0
+        # (dt, alpha) of the last lag-filter evaluation; dt is the fixed
+        # physics tick in practice, so the exp() is computed once.
+        self._alpha_dt = -1.0
+        self._alpha = 0.0
 
     # -- actuation interface used by Control-V boards -------------------
     def set_fan_flow_demand(self, flow_m3s: float) -> int:
@@ -86,8 +90,11 @@ class Airbox:
         fan_flow = self.fans.flow_m3s
         flow = self.damper.effective_flow(fan_flow)
         # First-order lag of the coil's effective water flow.
-        alpha = 1.0 - (0.0 if dt == 0 else
-                       math.exp(-dt / self.COIL_FLOW_TAU_S))
+        if dt != self._alpha_dt:
+            self._alpha = 1.0 - (0.0 if dt == 0 else
+                                 math.exp(-dt / self.COIL_FLOW_TAU_S))
+            self._alpha_dt = dt
+        alpha = self._alpha
         self._coil_flow_effective_lps += alpha * (
             self.coil_pump.flow_lps - self._coil_flow_effective_lps)
         result: CoilResult = self.coil.process(

@@ -29,7 +29,7 @@ from repro.physics.psychrometrics import (
 from repro.physics.room import AIR_DENSITY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoilResult:
     """Air state leaving the coil plus the coil's water-side load."""
 

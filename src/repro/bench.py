@@ -1,0 +1,234 @@
+"""Performance benchmarks over the two paper trials.
+
+Times the §V-A HVAC-performance trial (105 simulated minutes, paper
+phase-two door events, COP metering window) and the §V-C networking
+trial (5 simulated hours, periodic disturbances, BT-ADPT), reporting
+wall-clock time, dispatched events, events per second and simulated
+seconds per wall-clock second, alongside the domain metrics the paper
+reports (COP, comfort, packet counts, lifetimes).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench                 # both trials
+    PYTHONPATH=src python -m repro.bench --trial network
+    PYTHONPATH=src python -m repro.bench --no-macro      # reference physics
+    PYTHONPATH=src python -m repro.bench -o BENCH_1.json
+
+Results are written as JSON (default ``BENCH_1.json`` in the current
+directory).  When a baseline file is available (default
+``benchmarks/perf/baseline_seed.json``, recorded from the seed commit on
+the same class of machine), each run is compared against it: wall-clock
+speedup for the timing numbers and per-metric deltas checked against the
+tolerances the baseline declares — discrete counters (events, frames,
+collisions) must match exactly, continuous metrics within the small
+relative drift introduced by quantised-key psychrometric memoisation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.config import BubbleZeroConfig, NetworkConfig
+from repro.core.system import BubbleZero
+from repro.sim.clock import parse_clock
+from repro.workloads.events import (
+    paper_phase_two_events,
+    periodic_disturbance_events,
+)
+
+START_CLOCK = "13:00"
+
+# Simulated horizons of the two trials, seconds.
+HVAC_SIM_S = (40 + 20 + 45) * 60.0
+NETWORK_SIM_S = 5 * 3600.0
+
+DEFAULT_BASELINE = Path("benchmarks/perf/baseline_seed.json")
+
+
+def run_hvac_trial(macro: bool = True) -> Dict[str, object]:
+    """The paper §V-A trial: phase-two events, COP metering window."""
+    config = BubbleZeroConfig(seed=7, physics_macro_step=macro)
+    system = BubbleZero(config)
+    system.schedule_script(paper_phase_two_events())
+    system.start()
+    t0 = time.perf_counter()
+    system.run(minutes=40)
+    before = system.plant.meter_snapshot()
+    system.run(minutes=20)
+    after = system.plant.meter_snapshot()
+    system.run(minutes=45)
+    wall_s = time.perf_counter() - t0
+    system.finalize()
+    room = system.plant.room
+    return {
+        "wall_s": wall_s,
+        "sim_s": HVAC_SIM_S,
+        "events": system.sim.events_dispatched,
+        "events_per_s": system.sim.events_dispatched / wall_s,
+        "sim_s_per_wall_s": HVAC_SIM_S / wall_s,
+        "cop": system.plant.cop_between(before, after),
+        "mean_temp_c": room.mean_temp_c(),
+        "mean_dew_c": room.mean_dew_point_c(),
+        "mean_co2": room.mean_co2_ppm(),
+        "condensation": room.condensation_events,
+        "net": system.network_stats(),
+        "lifetime_cop": system.plant.cop_report(),
+    }
+
+
+def run_network_trial(macro: bool = True) -> Dict[str, object]:
+    """The paper §V-C trial: 5 h of BT-ADPT under periodic disturbances."""
+    import numpy as np
+
+    config = BubbleZeroConfig(
+        seed=7, physics_macro_step=macro,
+        network=NetworkConfig(bt_mode="adaptive"))
+    system = BubbleZero(config)
+    start = parse_clock(START_CLOCK)
+    system.schedule_script(periodic_disturbance_events(
+        start, NETWORK_SIM_S, every_s=1800.0, duration_s=30.0))
+    system.start()
+    t0 = time.perf_counter()
+    system.run(hours=5)
+    wall_s = time.perf_counter() - t0
+    system.finalize()
+    room = system.plant.room
+    return {
+        "wall_s": wall_s,
+        "sim_s": NETWORK_SIM_S,
+        "events": system.sim.events_dispatched,
+        "events_per_s": system.sim.events_dispatched / wall_s,
+        "sim_s_per_wall_s": NETWORK_SIM_S / wall_s,
+        "mean_temp_c": room.mean_temp_c(),
+        "mean_dew_c": room.mean_dew_point_c(),
+        "net": system.network_stats(),
+        "mean_lifetime_years": float(np.mean(
+            [n.projected_lifetime_years(NETWORK_SIM_S)
+             for n in system.bt_nodes])),
+        "mean_tsnd": float(np.mean(
+            [n.send_period_s for n in system.bt_nodes])),
+        "sniffer_frames": system.sniffer.frame_count,
+    }
+
+
+TRIALS = {
+    "hvac": run_hvac_trial,
+    "network": run_network_trial,
+}
+
+
+def _flatten(prefix: str, value: object, out: Dict[str, object]) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(f"{prefix}/{key}" if prefix else str(key), sub, out)
+    else:
+        out[prefix] = value
+
+
+def compare_to_baseline(name: str, result: Dict[str, object],
+                        baseline: Dict[str, object]) -> List[str]:
+    """Human-readable comparison lines, one per shared metric.
+
+    The baseline declares its tolerance policy: metrics listed under
+    ``exact_metrics`` must match bit for bit, everything else numeric is
+    checked against ``relative_tolerance``.
+    """
+    lines: List[str] = []
+    trial_base = baseline.get("trials", {}).get(name)
+    if trial_base is None:
+        return [f"{name}: no baseline recorded"]
+    exact = set(baseline.get("exact_metrics", []))
+    rel_tol = float(baseline.get("relative_tolerance", 1e-9))
+    flat_now: Dict[str, object] = {}
+    flat_base: Dict[str, object] = {}
+    _flatten("", result, flat_now)
+    _flatten("", trial_base, flat_base)
+    wall_base = flat_base.get("wall_s")
+    for key, base_val in sorted(flat_base.items()):
+        now_val = flat_now.get(key)
+        if now_val is None:
+            continue
+        if key in ("wall_s", "events_per_s", "sim_s_per_wall_s"):
+            continue  # timing handled below
+        leaf = key.rsplit("/", 1)[-1]
+        if leaf in exact or key in exact:
+            status = ("EXACT" if now_val == base_val
+                      else f"MISMATCH base={base_val} now={now_val}")
+            lines.append(f"  {name}/{key}: {status}")
+        elif isinstance(base_val, (int, float)):
+            ref = max(abs(float(base_val)), 1e-12)
+            drift = abs(float(now_val) - float(base_val)) / ref
+            verdict = "ok" if drift <= rel_tol else f"EXCEEDS {rel_tol:g}"
+            lines.append(f"  {name}/{key}: drift {drift:.3e} ({verdict})")
+    if isinstance(wall_base, (int, float)) and result.get("wall_s"):
+        speedup = float(wall_base) / float(result["wall_s"])
+        lines.insert(0, (f"  {name}/wall_s: baseline {wall_base:.2f}s "
+                         f"now {result['wall_s']:.2f}s "
+                         f"speedup {speedup:.2f}x"))
+    return lines
+
+
+def load_baseline(path: Path) -> Optional[Dict[str, object]]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Time the paper trials and write a benchmark report")
+    parser.add_argument("--trial", choices=["hvac", "network", "all"],
+                        default="all")
+    parser.add_argument("--no-macro", action="store_true",
+                        help="disable macro-stepped physics "
+                             "(reference scheduling)")
+    parser.add_argument("-o", "--output", default="BENCH_1.json",
+                        help="report path (default: BENCH_1.json)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="seed baseline to compare against")
+    args = parser.parse_args(argv)
+
+    names = ["hvac", "network"] if args.trial == "all" else [args.trial]
+    macro = not args.no_macro
+    report: Dict[str, object] = {
+        "config": {"physics_macro_step": macro, "seed": 7},
+        "trials": {},
+    }
+    baseline = load_baseline(Path(args.baseline))
+    for name in names:
+        print(f"running {name} trial "
+              f"({'macro' if macro else 'reference'} physics)...",
+              flush=True)
+        result = TRIALS[name](macro=macro)
+        report["trials"][name] = result
+        print(f"  wall {result['wall_s']:.2f}s | "
+              f"{result['events']} events | "
+              f"{result['events_per_s']:,.0f} events/s | "
+              f"{result['sim_s_per_wall_s']:,.0f} sim-s/wall-s")
+        if baseline is not None:
+            speedups = report.setdefault("speedup_vs_baseline", {})
+            trial_base = baseline.get("trials", {}).get(name, {})
+            wall_base = trial_base.get("wall_s")
+            if isinstance(wall_base, (int, float)):
+                assert isinstance(speedups, dict)
+                speedups[name] = wall_base / result["wall_s"]
+            for line in compare_to_baseline(name, result, baseline):
+                print(line)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

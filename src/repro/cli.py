@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
         "lifetime", help="BT-ADPT vs Fixed battery life (Fig. 15)")
     lifetime.add_argument("--hours", type=float, default=2.0)
     lifetime.add_argument("--seed", type=int, default=7)
+
+    bench = sub.add_parser(
+        "bench", help="time the paper trials (see repro.bench)")
+    bench.add_argument("--trial", choices=["hvac", "network", "all"],
+                       default="all")
+    bench.add_argument("--no-macro", action="store_true")
+    bench.add_argument("-o", "--output", default="BENCH_1.json")
     return parser
 
 
@@ -146,9 +153,19 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import main as bench_main
+
+    forwarded = ["--trial", args.trial, "--output", args.output]
+    if args.no_macro:
+        forwarded.append("--no-macro")
+    return bench_main(forwarded)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "cop": cmd_cop, "lifetime": cmd_lifetime}
+    handlers = {"run": cmd_run, "cop": cmd_cop, "lifetime": cmd_lifetime,
+                "bench": cmd_bench}
     return handlers[args.command](args)
 
 

@@ -27,7 +27,13 @@ from repro.hydronics.panel import PanelResult, RadiantPanel
 from repro.hydronics.pump import DCPump, PumpCurve
 from repro.hydronics.tank import ColdWaterTank
 from repro.hydronics.water import WATER_CP, mass_flow
-from repro.physics.room import Room, RoomParameters, SubspaceInputs
+from repro.physics.room import (
+    DOOR_WEIGHTS,
+    Room,
+    RoomParameters,
+    SubspaceInputs,
+    WINDOW_WEIGHTS,
+)
 from repro.physics.weather import OutdoorState, WeatherModel
 
 PANEL_SUBSPACES = ((0, 1), (2, 3))
@@ -166,13 +172,96 @@ class Plant:
         """Advance the whole plant by ``dt`` seconds."""
         outdoor = self.outdoor(now)
         reject_temp = outdoor.temp_c + CONDENSER_APPROACH_K
+        inputs = self._exchange_tick(outdoor, dt)
+        self.room.step(dt, outdoor, inputs)
+        ambient = self.room.mean_temp_c()
+        self.radiant_tank.step(dt, ambient_temp_c=ambient,
+                               reject_temp_c=reject_temp)
+        self.vent_tank.step(dt, ambient_temp_c=ambient,
+                            reject_temp_c=reject_temp)
+        self.time_integrated_s += dt
+
+    def macro_step(self, now: float, ticks: int, dt: float) -> None:
+        """Advance the plant over an event-free gap of ``ticks * dt``.
+
+        The hydronic and airside loops keep their reference per-tick
+        substep — the radiant loop's condensation limit cycle lives in
+        second-scale water-side feedback that a single coarse step would
+        wash out — while the room's RC network, the expensive part, is
+        integrated once over the whole gap in closed form
+        (:meth:`Room.macro_step`) with the substep-averaged boundary
+        inputs.  Valid only when no sensing/network/control event falls
+        inside the gap: actuator commands are then frozen, the room
+        states the substeps read drift by mere millikelvin over the few
+        seconds involved, and the averaged inputs carry exactly the
+        energy the substeps exchanged.
+        """
+        outdoor = self.outdoor(now)
+        reject_temp = outdoor.temp_c + CONDENSER_APPROACH_K
+        # The room is frozen during the gap, so the tank ambient is too.
+        ambient = self.room.mean_temp_c()
+        n_sub = len(self.room.subspaces)
+        heat_sum = [0.0] * n_sub
+        flow_sum = [0.0] * n_sub
+        flow_temp_sum = [0.0] * n_sub
+        flow_w_sum = [0.0] * n_sub
+        temp_sum = [0.0] * n_sub
+        w_sum = [0.0] * n_sub
+        last_inputs = None
+        for _ in range(ticks):
+            inputs = self._exchange_tick(outdoor, dt)
+            self.radiant_tank.step(dt, ambient_temp_c=ambient,
+                                   reject_temp_c=reject_temp)
+            self.vent_tank.step(dt, ambient_temp_c=ambient,
+                                reject_temp_c=reject_temp)
+            for i, inp in enumerate(inputs):
+                heat_sum[i] += inp.panel_heat_w
+                flow_sum[i] += inp.vent_flow_m3s
+                # Supply conditions weighted by flow, so the averaged
+                # input injects the same sensible/latent totals the
+                # substeps produced even while the fans ramp.
+                flow_temp_sum[i] += inp.vent_flow_m3s * inp.vent_supply_temp_c
+                flow_w_sum[i] += inp.vent_flow_m3s * inp.vent_supply_w
+                temp_sum[i] += inp.vent_supply_temp_c
+                w_sum[i] += inp.vent_supply_w
+            last_inputs = inputs
+        averaged: List[SubspaceInputs] = []
+        for i in range(n_sub):
+            inp = last_inputs[i]
+            flow = flow_sum[i] / ticks
+            if flow_sum[i] > 0:
+                supply_temp = flow_temp_sum[i] / flow_sum[i]
+                supply_w = flow_w_sum[i] / flow_sum[i]
+            else:
+                supply_temp = temp_sum[i] / ticks
+                supply_w = w_sum[i] / ticks
+            # Occupants, equipment and openings cannot change inside an
+            # event-free gap; take them from the last substep.
+            averaged.append(SubspaceInputs(
+                panel_heat_w=heat_sum[i] / ticks,
+                vent_flow_m3s=flow,
+                vent_supply_temp_c=supply_temp,
+                vent_supply_w=supply_w,
+                occupants=inp.occupants,
+                equipment_w=inp.equipment_w,
+                door_open_fraction=inp.door_open_fraction,
+            ))
+        self.room.macro_step(ticks * dt, outdoor, averaged)
+        self.time_integrated_s += ticks * dt
+
+    def _exchange_tick(self, outdoor: OutdoorState,
+                       dt: float) -> List[SubspaceInputs]:
+        """One hydronic/airside substep; returns the room's inputs."""
         panel_heat = [0.0] * len(self.room.subspaces)
 
         # --- radiant panel loops ---------------------------------------
         for idx, loop in enumerate(self.panel_loops):
-            served = PANEL_SUBSPACES[idx]
-            zone_temp = sum(self.room.state_of(s).temp_c
-                            for s in served) / len(served)
+            # Each loop serves exactly two subspaces; index them directly
+            # instead of paying generator overhead in the per-tick loop.
+            s0, s1 = PANEL_SUBSPACES[idx]
+            state0 = self.room.state_of(s0)
+            state1 = self.room.state_of(s1)
+            zone_temp = (state0.temp_c + state1.temp_c) / 2
             mix: MixResult = loop.junction.mix(
                 self.radiant_tank.draw(), loop.return_temp_c)
             result = loop.panel.exchange(mix.flow_lps, mix.temp_c, zone_temp)
@@ -191,12 +280,12 @@ class Plant:
             # Water drawn from the tank returns at panel-outlet temperature.
             self.radiant_tank.accept_return(
                 mix.supply_flow_lps, result.return_temp_c, dt)
-            for s in served:
-                panel_heat[s] += result.heat_w / len(served)
+            half_heat = result.heat_w / 2
+            panel_heat[s0] += half_heat
+            panel_heat[s1] += half_heat
             # Condensation guard: panel surface vs local air dew point.
             if mix.flow_lps > 0:
-                local_dew = max(self.room.state_of(s).dew_point_c
-                                for s in served)
+                local_dew = max(state0.dew_point_c, state1.dew_point_c)
                 if not self.guard.check_dew(result.surface_temp_c, local_dew):
                     self.room.record_condensation()
             loop.supply_pump.integrate(dt)
@@ -235,13 +324,7 @@ class Plant:
             ))
             self.fan_energy_j += output.fan_power_w * dt
 
-        # --- room and tanks ----------------------------------------------
-        self.room.step(dt, outdoor, inputs)
-        self.radiant_tank.step(dt, ambient_temp_c=self.room.mean_temp_c(),
-                               reject_temp_c=reject_temp)
-        self.vent_tank.step(dt, ambient_temp_c=self.room.mean_temp_c(),
-                            reject_temp_c=reject_temp)
-        self.time_integrated_s += dt
+        return inputs
 
     # ------------------------------------------------------------------
     # Energy / COP accounting (paper §V-B)
@@ -333,11 +416,9 @@ def _door_weight(subspace: int) -> float:
     Weights sum to one, so the total exchange equals the door path's
     rated flow; the door-side subspaces take most of it.
     """
-    from repro.physics.room import DOOR_WEIGHTS
     return DOOR_WEIGHTS[subspace]
 
 
 def _window_weight(subspace: int) -> float:
     """Share of a window opening felt by each subspace (back facade)."""
-    from repro.physics.room import WINDOW_WEIGHTS
     return WINDOW_WEIGHTS[subspace]

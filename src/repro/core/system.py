@@ -39,6 +39,7 @@ from repro.net.medium import BroadcastMedium, Sniffer
 from repro.net.packet import DataType
 from repro.physics.weather import ConstantWeather, WeatherModel
 from repro.sim.engine import (
+    Event,
     Simulator,
     PRIORITY_CONTROL,
     PRIORITY_MONITOR,
@@ -51,6 +52,13 @@ from repro.workloads.events import (
     OccupancyChange,
     WindowEvent,
 )
+
+
+# Longest event-free gap the macro physics scheduler integrates in one
+# closed-form step, in physics ticks.  Bounds the single-shot error of
+# the hydronic components (whose time constants are minutes) and keeps
+# any one firing cheap; gaps longer than this are simply split.
+_MACRO_MAX_TICKS = 60
 
 
 class BubbleZero:
@@ -73,9 +81,21 @@ class BubbleZero:
             self._build_network_stack()
         else:
             self._build_direct_stack()
-        self._physics_task = PeriodicTask(
-            self.sim, "physics", self.config.physics_dt_s, self._physics_step,
-            priority=PRIORITY_PHYSICS, phase=self.config.physics_dt_s)
+        # Physics runs either as a plain 1 Hz periodic task (the
+        # reference behaviour) or through the macro-stepping scheduler,
+        # which skips ahead over event-free gaps in one closed-form
+        # integration (see _commit_physics).
+        self._physics_task: Optional[PeriodicTask] = None
+        self._physics_pending: Optional[Event] = None
+        self._physics_last = 0.0
+        self._physics_ticks = 1
+        self.physics_macro_steps = 0
+        self.physics_unit_steps = 0
+        if not self.config.physics_macro_step:
+            self._physics_task = PeriodicTask(
+                self.sim, "physics", self.config.physics_dt_s,
+                self._physics_step, priority=PRIORITY_PHYSICS,
+                phase=self.config.physics_dt_s)
         self._recorder_task = PeriodicTask(
             self.sim, "recorder", self.config.record_period_s, self._record,
             priority=PRIORITY_MONITOR, phase=0.0)
@@ -242,7 +262,8 @@ class BubbleZero:
         if self._started:
             return
         self._started = True
-        self._physics_task.start()
+        if self._physics_task is not None:
+            self._physics_task.start()
         self._recorder_task.start()
         for node in self.bt_nodes:
             node.start()
@@ -250,6 +271,14 @@ class BubbleZero:
             board.start()
         if self._direct_loop is not None:
             self._direct_loop.start()
+        if self._physics_task is None:
+            # Macro mode commits the first physics firing only after
+            # every other task has queued its first event, so the gap
+            # scan in _commit_physics sees the complete schedule.
+            # Physics is alone at its priority level, so starting it
+            # last cannot reorder same-instant dispatches.
+            self._physics_last = self.sim.clock.now
+            self._commit_physics()
 
     def run(self, seconds: Optional[float] = None,
             minutes: Optional[float] = None,
@@ -264,6 +293,8 @@ class BubbleZero:
         if not self._started:
             self.start()
         self.sim.run(total)
+        if self._physics_pending is not None:
+            self._flush_physics()
 
     def finalize(self) -> None:
         """Close energy accounting (call once, after the last run)."""
@@ -312,6 +343,83 @@ class BubbleZero:
     # ------------------------------------------------------------------
     def _physics_step(self, now: float) -> None:
         self.plant.step(now, self.config.physics_dt_s)
+
+    def _commit_physics(self) -> None:
+        """Schedule the next physics firing (macro mode).
+
+        Scans the queue head for the next pending event.  Nothing can be
+        dispatched before that instant, and new events are only created
+        by dispatches, so the interval up to it is guaranteed
+        event-free: every sensor read and actuator command in it — there
+        are none — would have seen per-tick state.  The firing lands on
+        the tick grid at or before that event (events exactly on the
+        boundary still see fully-integrated state, because physics has
+        the lowest priority number and dispatches first at an instant).
+        Pending same-instant events make the gap zero ticks wide, which
+        clamps to a single tick — the reference path.
+        """
+        sim = self.sim
+        dt = self.config.physics_dt_s
+        base = self._physics_last
+        # Never schedule into the past: after a flush the clock may sit
+        # a fraction of a tick past the last integrated boundary.
+        k_min = int((sim.clock.now - base) / dt - 1e-9) + 1
+        if k_min < 1:
+            k_min = 1
+        next_event = sim.queue.peek_time()
+        if next_event is None:
+            k = k_min
+        else:
+            k = int((next_event - base) / dt)
+            if k < k_min:
+                k = k_min
+            elif k > _MACRO_MAX_TICKS:
+                k = _MACRO_MAX_TICKS
+        self._physics_ticks = k
+        self._physics_pending = sim.queue.push(
+            base + k * dt, PRIORITY_PHYSICS, self._physics_fire, "physics")
+
+    def _physics_fire(self) -> None:
+        self._physics_pending = None
+        now = self.sim.clock.now
+        k = self._physics_ticks
+        dt = self.config.physics_dt_s
+        if k == 1:
+            self.plant.step(now, dt)
+            self.physics_unit_steps += 1
+        else:
+            self.plant.macro_step(now, k, dt)
+            self.physics_macro_steps += 1
+        self._physics_last = now
+        self._commit_physics()
+
+    def _flush_physics(self) -> None:
+        """Integrate whole ticks left pending at the end of a run.
+
+        A macro gap may straddle the run horizon; without this, state
+        inspected between runs (meter snapshots, traces) would lag the
+        reference by up to the committed gap.  Only whole ticks are
+        integrated — the reference path never integrates partial ones —
+        and the next firing is then re-committed on the same grid.
+        """
+        sim = self.sim
+        dt = self.config.physics_dt_s
+        k = int((sim.clock.now - self._physics_last) / dt + 1e-9)
+        if k <= 0:
+            return
+        pending = self._physics_pending
+        if pending is not None:
+            pending.cancel()
+            self._physics_pending = None
+        now = sim.clock.now
+        if k == 1:
+            self.plant.step(now, dt)
+            self.physics_unit_steps += 1
+        else:
+            self.plant.macro_step(now, k, dt)
+            self.physics_macro_steps += 1
+        self._physics_last = self._physics_last + k * dt
+        self._commit_physics()
 
     def _record(self, now: float) -> None:
         trace = self.sim.trace

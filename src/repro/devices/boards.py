@@ -70,8 +70,9 @@ class Board:
         if use_schedule_adapter:
             self.schedule_adapter = AcScheduleAdapter(
                 sim, device_id, report_period_s)
-            medium.add_activity_listener(self.schedule_adapter.observe_busy)
+            self.schedule_adapter.connect(medium)
         self._report_task: Optional[PeriodicTask] = None
+        self._report_name = f"{device_id}/report"
         self._started = False
 
     # ------------------------------------------------------------------
@@ -89,10 +90,12 @@ class Board:
             self._report_task.start()
 
     def _schedule_adaptive_report(self) -> None:
+        # Fire-and-forget: the report chain reschedules itself and is
+        # never cancelled, so it can skip the Event allocation.
         when = self.schedule_adapter.next_send_time()
-        self.sim.schedule_at(when, self._adaptive_report,
-                             priority=PRIORITY_SENSING,
-                             name=f"{self.device_id}/report")
+        self.sim.post_at(when, self._adaptive_report,
+                         priority=PRIORITY_SENSING,
+                         name=self._report_name)
 
     def _adaptive_report(self) -> None:
         self.report(self.sim.now)

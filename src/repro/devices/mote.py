@@ -55,7 +55,8 @@ class Mote:
         Returns False if the MAC queue rejected the frame.
         """
         payload = {"value": value, "key": key}
-        payload.update(extra)
+        if extra:
+            payload.update(extra)
         packet = Packet(data_type=data_type, source=self.device_id,
                         created_at=self.sim.now, payload=payload,
                         payload_bytes=payload_bytes)

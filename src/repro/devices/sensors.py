@@ -41,6 +41,14 @@ class SensorModel:
         # Per-part calibration offset: drawn once, constant for life.
         self._offset = (rng.normal(f"sensor-offset/{name}", 0.0, offset_std)
                         if offset_std > 0 else 0.0)
+        # The noise stream is hit on every reading; cache it and serve
+        # draws from a prefetched block of standard normals — one
+        # vectorised call per 256 readings, same sequence as per-read
+        # scalar draws (scaling by noise_std commutes with the draw).
+        self._noise_stream = (rng.stream(f"sensor-noise/{name}")
+                              if noise_std > 0 else None)
+        self._noise_buffer: list = []
+        self._noise_index = 0
         self.readings_taken = 0
         # Fault-injection state (see repro.workloads.faults).
         self._stuck_at: float = float("nan")
@@ -69,13 +77,20 @@ class SensorModel:
 
     def read(self) -> float:
         """Take one corrupted reading of the physical truth."""
-        if self.is_stuck:
+        stuck = self._stuck_at
+        if stuck == stuck:  # inlined is_stuck (NaN when healthy)
             self.readings_taken += 1
-            return self._stuck_at
+            return stuck
         value = self._measure() + self._offset + self._fault_offset
         if self.noise_std > 0:
-            value += self._rng.normal(f"sensor-noise/{self.name}",
-                                      0.0, self.noise_std)
+            i = self._noise_index
+            if i >= len(self._noise_buffer):
+                self._noise_buffer = (
+                    self._noise_stream.standard_normal(256).tolist())
+                i = 0
+            self._noise_index = i + 1
+            # 0.0 + std * z is bit-identical to normal(0.0, std).
+            value += self.noise_std * self._noise_buffer[i]
         if self.quantum > 0:
             value = round(value / self.quantum) * self.quantum
         value = min(max(value, self.lower_limit), self.upper_limit)

@@ -154,10 +154,20 @@ class AdaptiveTransmitter:
         return None
 
     def _window_variance(self) -> float:
-        """Population variance E[X^2] - E[X]^2, as in the paper."""
+        """Population variance E[X^2] - E[X]^2, as in the paper.
+
+        One explicit pass instead of two ``sum`` calls: same left-to-
+        right accumulation order, so the result is bit-identical, minus
+        the generator overhead on a per-sample call.
+        """
         n = len(self._window)
-        mean = sum(self._window) / n
-        mean_sq = sum(x * x for x in self._window) / n
+        total = 0.0
+        total_sq = 0.0
+        for x in self._window:
+            total += x
+            total_sq += x * x
+        mean = total / n
+        mean_sq = total_sq / n
         return max(0.0, mean_sq - mean * mean)
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ from repro.sim.engine import Simulator
 Subscriber = Callable[[Packet, str], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class CachedValue:
     """Latest value seen for a (type, key) pair."""
 
@@ -39,7 +39,10 @@ class TypeBus:
         self._cache: Dict[Tuple[DataType, Any], CachedValue] = {}
         self.packets_received = 0
         self.packets_filtered = 0
-        medium.attach_receiver(device_id, self._on_receive)
+        # Registering the bus itself lets the medium inline the type
+        # filter and skip a Python call per uninterested receiver.
+        self._medium = medium
+        medium.attach_receiver(device_id, self._on_receive, bus=self)
 
     # ------------------------------------------------------------------
     def subscribe(self, data_type: DataType,
@@ -54,19 +57,41 @@ class TypeBus:
         handlers = self._subscribers.setdefault(data_type, [])
         if handler is not None:
             handlers.append(handler)
+        # The medium precomputes per-(sender, type) delivery plans from
+        # the subscription tables; a new subscription stales them.
+        self._medium.invalidate_delivery_plans()
 
     def _on_receive(self, packet: Packet, sender: str) -> None:
         if packet.data_type not in self._subscribers:
             self.packets_filtered += 1
             return
+        self.receive_subscribed(packet, sender, self.sim.now)
+
+    def receive_subscribed(self, packet: Packet, sender: str,
+                           now: float) -> None:
+        """Deliver a packet already known to match a subscription.
+
+        The medium calls this directly after applying the type filter
+        inline (see ``BroadcastMedium._complete``; keep the two in sync).
+        """
         self.packets_received += 1
-        key = packet.payload.get("key")
-        self._cache[(packet.data_type, key)] = CachedValue(
-            value=packet.payload.get("value"),
-            received_at=self.sim.now,
-            source=sender)
-        for handler in self._subscribers[packet.data_type]:
-            handler(packet, sender)
+        payload = packet.payload
+        data_type = packet.data_type
+        cache_key = (data_type, payload.get("key"))
+        entry = self._cache.get(cache_key)
+        if entry is None:
+            self._cache[cache_key] = CachedValue(
+                value=payload.get("value"), received_at=now, source=sender)
+        else:
+            # Recycle the slot: one reception per frame per subscriber
+            # makes this the busiest allocation site of network runs.
+            entry.value = payload.get("value")
+            entry.received_at = now
+            entry.source = sender
+        handlers = self._subscribers[data_type]
+        if handlers:
+            for handler in handlers:
+                handler(packet, sender)
 
     # ------------------------------------------------------------------
     def latest(self, data_type: DataType, key: Any = None) -> Optional[CachedValue]:

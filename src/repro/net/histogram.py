@@ -167,9 +167,17 @@ class ExactClusterOracle:
     def threshold(self) -> Optional[float]:
         """Optimal two-cluster boundary, or None with < 2 distinct values.
 
-        Runs in O(n log n): for sorted values, the L1 distance of a
-        contiguous block to its mean is computable from prefix sums and
-        one binary search for the mean's position.
+        Fully vectorised over the n-1 candidate splits: for sorted
+        values, the L1 distance of a contiguous block [lo, hi) to its
+        mean is ``mean*b - P[j] + (P[hi]-P[j]) - mean*a`` from prefix
+        sums P, where j positions the mean within the block.  Because
+        the array is globally sorted, the per-block ``searchsorted`` is
+        recoverable from one whole-array searchsorted per side: elements
+        below a left-block mean all live in the prefix (clip at the
+        split) and elements below a right-block mean fill at least the
+        prefix (clip the other way).  Each elementwise operation repeats
+        the scalar expression, so costs — and the selected split — match
+        the former per-split loop bit for bit.
         """
         if len(self.values) < 2:
             return None
@@ -181,24 +189,21 @@ class ExactClusterOracle:
         n = ordered.size
         prefix = np.concatenate(([0.0], np.cumsum(ordered)))
 
-        def block_cost(lo: int, hi: int) -> float:
-            """Sum |x_i - mean| over ordered[lo:hi]."""
-            count = hi - lo
-            total = prefix[hi] - prefix[lo]
-            mean = total / count
-            j = int(np.searchsorted(ordered[lo:hi], mean)) + lo
-            below = (prefix[j] - prefix[lo], j - lo)
-            above = (prefix[hi] - prefix[j], hi - j)
-            return (mean * below[1] - below[0]) + (above[0]
-                                                   - mean * above[1])
-
-        best_split = 1
-        best_cost = float("inf")
-        for split in range(1, n):
-            cost = block_cost(0, split) + block_cost(split, n)
-            if cost < best_cost:
-                best_cost = cost
-                best_split = split
+        splits = np.arange(1, n)
+        # Left block [0, s): mean <= ordered[s-1], so every element
+        # below it sits in the prefix and the global insertion point
+        # needs at most clipping to s.
+        mean1 = prefix[splits] / splits
+        j1 = np.minimum(np.searchsorted(ordered, mean1), splits)
+        cost1 = ((mean1 * j1 - prefix[j1])
+                 + ((prefix[splits] - prefix[j1]) - mean1 * (splits - j1)))
+        # Right block [s, n): mean >= ordered[s], so the insertion point
+        # is at least s.
+        mean2 = (prefix[n] - prefix[splits]) / (n - splits)
+        j2 = np.maximum(np.searchsorted(ordered, mean2), splits)
+        cost2 = ((mean2 * (j2 - splits) - (prefix[j2] - prefix[splits]))
+                 + ((prefix[n] - prefix[j2]) - mean2 * (n - j2)))
+        best_split = int(np.argmin(cost1 + cost2)) + 1
         return 0.5 * (ordered[best_split - 1] + ordered[best_split])
 
 

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Optional, Tuple
+from functools import partial
+from typing import Callable, Deque, List, Optional, Tuple
+
+import numpy as np
 
 from repro.net.medium import BroadcastMedium
 from repro.net.packet import Packet
@@ -31,8 +34,16 @@ MAX_BE = 5
 # 802.15.4 collisions come from.
 TURNAROUND_S = 192e-6
 
+# Backoff window sizes 2**BE for BE = 0..MAX_BE, as a tuple lookup —
+# cheaper than re-evaluating the power on every backoff attempt.
+_BACKOFF_WINDOW = tuple(2 ** be for be in range(MAX_BE + 1))
 
-@dataclass
+# Raw uint64 blocks prefetched per refill of a MAC's backoff buffer.
+# Each uint64 yields two 32-bit draw chunks.
+_BACKOFF_BLOCK = 128
+
+
+@dataclass(slots=True)
 class MacStats:
     """Counters one CsmaMac accumulates."""
 
@@ -72,6 +83,17 @@ class CsmaMac:
         self.stats = MacStats()
         self._queue: Deque[Tuple[Packet, float]] = deque()
         self._busy = False
+        self._rng = sim.rng.stream(f"mac/{device_id}")
+        # Prefetched backoff draws (see ``_refill_backoff_chunks``): the
+        # mac stream is consumed only by ``_attempt``, so its 32-bit
+        # draw chunks can be buffered ahead of time.
+        self._chunk_buf: List[int] = []
+        self._chunk_idx = 0
+        # Event names are rebuilt on every schedule otherwise — three
+        # f-strings per frame on the hot path.
+        self._cca_name = f"cca/{device_id}"
+        self._tx_name = f"mac-tx/{device_id}"
+        self._next_name = f"mac-next/{device_id}"
 
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
@@ -102,15 +124,49 @@ class CsmaMac:
         packet, enqueue_time = self._queue[0]
         self._attempt(packet, enqueue_time, attempt=0, be=MIN_BE)
 
+    def _refill_backoff_chunks(self) -> List[int]:
+        """Prefetch a block of the 32-bit chunks ``integers`` would draw.
+
+        For a power-of-two bound ``w`` ≤ 2**32, ``Generator.integers``
+        consumes exactly one 32-bit chunk per draw (Lemire rejection
+        never triggers when ``w`` divides 2**32) and computes
+        ``(chunk * w) >> 32``; PCG64 serves those chunks as the low then
+        high half of each successive uint64.  Drawing the raw uint64s in
+        a block and splitting them therefore reproduces the per-call
+        sequence bit for bit — verified by
+        tests/test_perf_equivalence.  Valid only because this stream has
+        no other consumer.
+        """
+        raw = self._rng.integers(0, 1 << 64, dtype=np.uint64,
+                                 size=_BACKOFF_BLOCK)
+        chunks = np.empty(2 * _BACKOFF_BLOCK, dtype=np.uint64)
+        chunks[0::2] = raw & np.uint64(0xFFFFFFFF)
+        chunks[1::2] = raw >> np.uint64(32)
+        buf = chunks.tolist()
+        self._chunk_buf = buf
+        self._chunk_idx = 0
+        return buf
+
     def _attempt(self, packet: Packet, enqueue_time: float,
                  attempt: int, be: int) -> None:
-        rng = self.sim.rng.stream(f"mac/{self.device_id}")
-        slots = int(rng.integers(0, 2 ** be))
+        i = self._chunk_idx
+        buf = self._chunk_buf
+        if i >= len(buf):
+            buf = self._refill_backoff_chunks()
+            i = 0
+        self._chunk_idx = i + 1
+        slots = (buf[i] * _BACKOFF_WINDOW[be]) >> 32
         delay = slots * UNIT_BACKOFF_S
-        self.stats.backoffs += 1 if attempt > 0 else 0
-        self.sim.schedule_in(
-            delay, lambda: self._cca(packet, enqueue_time, attempt, be),
-            priority=PRIORITY_NETWORK, name=f"cca/{self.device_id}")
+        if attempt:
+            self.stats.backoffs += 1
+        # Direct fire-and-forget push: the delay is provably >= 0 (slot
+        # count times a positive constant), so ``post_in``'s validation
+        # is dead weight on this several-times-per-frame path.
+        sim = self.sim
+        sim.queue.push_fire(
+            sim.clock.now + delay, PRIORITY_NETWORK,
+            partial(self._cca, packet, enqueue_time, attempt, be),
+            self._cca_name)
 
     def _cca(self, packet: Packet, enqueue_time: float,
              attempt: int, be: int) -> None:
@@ -129,10 +185,11 @@ class CsmaMac:
         # device whose CCA also passes inside this window will overlap
         # us on the air — the collision mechanism of real CSMA/CA.
         self._queue.popleft()
-        self.sim.schedule_in(
-            TURNAROUND_S,
-            lambda: self._transmit(packet, enqueue_time),
-            priority=PRIORITY_NETWORK, name=f"mac-tx/{self.device_id}")
+        sim = self.sim
+        sim.queue.push_fire(
+            sim.clock.now + TURNAROUND_S, PRIORITY_NETWORK,
+            partial(self._transmit, packet, enqueue_time),
+            self._tx_name)
 
     def _transmit(self, packet: Packet, enqueue_time: float) -> None:
         self.stats.sent += 1
@@ -141,6 +198,7 @@ class CsmaMac:
         if self.on_transmit is not None:
             self.on_transmit(packet)
         # Next frame (if any) contends after this one's airtime.
-        self.sim.schedule_in(packet.airtime_s(), self._start_next,
-                             priority=PRIORITY_NETWORK,
-                             name=f"mac-next/{self.device_id}")
+        sim = self.sim
+        sim.queue.push_fire(sim.clock.now + packet.airtime_s(),
+                            PRIORITY_NETWORK, self._start_next,
+                            self._next_name)

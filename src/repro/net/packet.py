@@ -21,7 +21,17 @@ MAC_OVERHEAD_BYTES = 11
 
 
 class DataType(enum.Enum):
-    """Message categories used for type-addressed dissemination."""
+    """Message categories used for type-addressed dissemination.
+
+    Members are singletons, so identity hashing is semantically
+    equivalent to ``Enum``'s name-based hash while avoiding a Python
+    ``__hash__`` call on every dict/set lookup — and type-filter lookups
+    happen once per receiver per delivered frame.  Nothing in the repo
+    iterates unsorted ``DataType`` sets, so the id-derived ordering
+    never leaks into results.
+    """
+
+    __hash__ = object.__hash__
 
     TEMPERATURE = "temperature"
     HUMIDITY = "humidity"
@@ -37,8 +47,11 @@ class DataType(enum.Enum):
 
 _packet_ids = itertools.count(1)
 
+# payload_bytes -> airtime_s; only valid sizes are ever stored.
+_AIRTIME_CACHE: Dict[int, float] = {}
 
-@dataclass
+
+@dataclass(slots=True)
 class Packet:
     """One broadcast frame.
 
@@ -53,14 +66,23 @@ class Packet:
     payload: Dict[str, Any] = field(default_factory=dict)
     payload_bytes: int = 8
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    _airtime_s: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if self.payload_bytes <= 0:
-            raise ValueError("payload size must be positive")
-        if self.payload_bytes > 114:
-            raise ValueError(
-                f"payload of {self.payload_bytes} bytes exceeds the "
-                "802.15.4 frame limit")
+        # Airtime depends only on the payload size, and nearly every
+        # frame in a run shares the same handful of sizes — memoise
+        # instead of redoing the arithmetic per packet.  The cache also
+        # stands in for the size validation: ``frame_airtime_s`` raises
+        # before anything is stored for an invalid size.
+        airtime = _AIRTIME_CACHE.get(self.payload_bytes)
+        if airtime is None:
+            if self.payload_bytes > 114:
+                raise ValueError(
+                    f"payload of {self.payload_bytes} bytes exceeds the "
+                    "802.15.4 frame limit")
+            airtime = frame_airtime_s(self.payload_bytes)
+            _AIRTIME_CACHE[self.payload_bytes] = airtime
+        self._airtime_s = airtime
 
     @property
     def frame_bytes(self) -> int:
@@ -68,8 +90,8 @@ class Packet:
         return PHY_OVERHEAD_BYTES + MAC_OVERHEAD_BYTES + self.payload_bytes
 
     def airtime_s(self) -> float:
-        """Time this frame occupies the channel."""
-        return frame_airtime_s(self.payload_bytes)
+        """Time this frame occupies the channel (precomputed)."""
+        return self._airtime_s
 
 
 def frame_airtime_s(payload_bytes: int) -> float:

@@ -18,11 +18,17 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.sim.engine import Simulator
 
 
 class AcScheduleAdapter:
     """Per-device phase chooser for periodic AC transmissions."""
+
+    # Whether this adapter ever reads its busy profile; the fixed
+    # baseline never adapts, so it skips activity-log registration.
+    wants_activity = True
 
     def __init__(self, sim: Simulator, device_id: str, period_s: float,
                  bins: int = 20, adapt_every: int = 10,
@@ -40,6 +46,7 @@ class AcScheduleAdapter:
         self.adapt_every = adapt_every
         self.dither_fraction = dither_fraction
         self._busy_profile: List[float] = [0.0] * bins
+        self._activity_log = None
         self._sends_since_adapt = 0
         self._rng = sim.rng.stream(f"acsched/{device_id}")
         # Start at a random phase, as real boards boot at arbitrary times.
@@ -52,6 +59,58 @@ class AcScheduleAdapter:
         """Current send offset within the period."""
         return self._offset
 
+    def connect(self, medium) -> None:
+        """Follow ``medium``'s channel-activity log.
+
+        Occupancy accumulates lazily: transmissions land in the shared
+        log and are folded into the busy profile only when the adapter
+        is about to adapt.  The result is identical to per-frame
+        ``observe_busy`` push calls — the offset never changes between
+        adaptations, so deferred frames bin exactly the same way — but
+        frames nobody will ever inspect cost one shared tuple append
+        instead of one Python call per adapter.
+        """
+        if self.wants_activity:
+            self._activity_log = medium.activity_log
+            self._activity_log.register(self)
+
+    def _drain_activity(self) -> None:
+        if self._activity_log is None:
+            return
+        start_l, dur_l = self._activity_log.drain(self)
+        if len(start_l) < 64:
+            observe = self.observe_busy
+            for start, duration in zip(start_l, dur_l):
+                observe(start, duration)
+            return
+        # Bulk path: the phase/bin arithmetic is vectorised, then the
+        # accumulation runs as a minimal Python loop *in log order* so
+        # float rounding matches the per-frame path bit for bit (summing
+        # out of order would perturb the quietest-bin argmin).  Frames
+        # spanning a bin boundary (airtime ~1 ms vs bins >= 100 ms, so
+        # rare) fall back to the exact multi-bin walk.
+        bin_width = self.period_s / self.bins
+        starts = np.asarray(start_l)
+        durations = np.asarray(dur_l)
+        phases = (starts - self._offset) % self.period_s
+        idx = np.minimum((phases / bin_width).astype(np.int64), self.bins - 1)
+        to_boundary = (idx + 1) * bin_width - phases
+        single_bin = ((to_boundary > 1e-9 * bin_width)
+                      & (durations <= to_boundary))
+        profile = self._busy_profile
+        observe = self.observe_busy
+        idx_l = idx.tolist()
+        if bool(single_bin.all()):
+            for k, j in enumerate(idx_l):
+                profile[j] += dur_l[k]
+            return
+        fast_l = single_bin.tolist()
+        for k, j in enumerate(idx_l):
+            if fast_l[k]:
+                profile[j] += dur_l[k]
+            else:
+                observe(start_l[k], dur_l[k])
+
     def observe_busy(self, start: float, duration: float) -> None:
         """Record channel occupancy overheard by the always-on radio.
 
@@ -61,6 +120,16 @@ class AcScheduleAdapter:
         if duration < 0:
             raise ValueError("duration cannot be negative")
         bin_width = self.period_s / self.bins
+        # Fast path: frame airtimes (~1 ms) are usually far shorter than
+        # a phase bin, so the whole burst lands in one bin.
+        phase = (start - self._offset) % self.period_s
+        idx = int(phase / bin_width)
+        if idx >= self.bins:
+            idx = self.bins - 1
+        to_boundary = (idx + 1) * bin_width - phase
+        if to_boundary > 1e-9 * bin_width and duration <= to_boundary:
+            self._busy_profile[idx] += duration
+            return
         remaining = duration
         t = start
         # Guard against float round-off producing zero-length advances.
@@ -101,6 +170,7 @@ class AcScheduleAdapter:
     # ------------------------------------------------------------------
     def _adapt(self) -> None:
         """Move the offset to the quietest observed phase bin."""
+        self._drain_activity()
         if all(b == 0.0 for b in self._busy_profile):
             return
         bin_width = self.period_s / self.bins
@@ -120,6 +190,8 @@ class FixedScheduleAdapter(AcScheduleAdapter):
     devices onto the same phase — the worst case the adaptive scheme
     escapes.
     """
+
+    wants_activity = False  # never reads its busy profile
 
     def __init__(self, sim: Simulator, device_id: str, period_s: float,
                  aligned_offset: Optional[float] = None, **kwargs) -> None:

@@ -12,11 +12,22 @@ COP accounting need.
 All temperatures are in degrees Celsius unless a name says otherwise;
 relative humidity is in percent (0–100]; pressures in Pa; humidity ratio
 in kg water vapour per kg dry air.
+
+The transcendental relations (anything with an ``exp``/``log``) are
+memoized behind quantised LRU caches: inputs are rounded to 12 decimal
+places to form the cache key and the result is computed *from the
+rounded key*, so a given return value depends only on the key, never on
+cache state or call order — runs stay deterministic.  The rounding
+perturbs inputs by at most 5e-13, far below sensor quantisation (0.01)
+and the 1e-9 equivalence tolerance asserted in
+``tests/test_perf_equivalence.py``.  ``configure_cache(False)`` restores
+the exact unrounded path for parity checks.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 # Magnus coefficients, as given in the paper.
 MAGNUS_A = 243.12  # degC
@@ -35,9 +46,56 @@ EPSILON = 0.62198
 
 _MIN_RH = 1e-6   # RH of exactly 0 is outside the Magnus formula's domain
 
+# Quantised-key memoization (see module docstring).  12 decimals keeps
+# the key perturbation ~5e-13 while collapsing the near-identical inputs
+# the control boards produce (sensor readings quantised at 0.01).
+_CACHE_ENABLED = True
+_KEY_DECIMALS = 12
+_CACHE_SIZE = 4096
+
 
 class PsychrometricsError(ValueError):
     """Raised for physically meaningless inputs (e.g. RH > 100%)."""
+
+
+def configure_cache(enabled: bool) -> None:
+    """Enable or disable the quantised memoization layer.
+
+    Disabling routes every call through the exact, unrounded formulas —
+    the bit-for-bit parity path the equivalence tests compare against.
+    Re-enabling does not clear previously cached entries (they remain
+    valid: each maps a rounded key to the value computed from it).
+    """
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+
+
+def cache_clear() -> None:
+    """Drop all memoized entries (useful for benchmarking cold starts)."""
+    for fn in (_dew_point_cached, _saturation_vapor_pressure_cached,
+               _humidity_ratio_cached, _humidity_ratio_from_dew_point_cached,
+               _dew_point_from_humidity_ratio_cached,
+               _relative_humidity_from_ratio_cached,
+               _relative_humidity_from_dew_point_cached):
+        fn.cache_clear()
+
+
+def cache_info() -> dict:
+    """Hit/miss statistics of every memoized relation, keyed by name."""
+    return {
+        "dew_point": _dew_point_cached.cache_info()._asdict(),
+        "saturation_vapor_pressure":
+            _saturation_vapor_pressure_cached.cache_info()._asdict(),
+        "humidity_ratio": _humidity_ratio_cached.cache_info()._asdict(),
+        "humidity_ratio_from_dew_point":
+            _humidity_ratio_from_dew_point_cached.cache_info()._asdict(),
+        "dew_point_from_humidity_ratio":
+            _dew_point_from_humidity_ratio_cached.cache_info()._asdict(),
+        "relative_humidity_from_ratio":
+            _relative_humidity_from_ratio_cached.cache_info()._asdict(),
+        "relative_humidity_from_dew_point":
+            _relative_humidity_from_dew_point_cached.cache_info()._asdict(),
+    }
 
 
 def _gamma(temp_c: float, rh_percent: float) -> float:
@@ -53,6 +111,14 @@ def _gamma(temp_c: float, rh_percent: float) -> float:
     return math.log(rh / 100.0) + (MAGNUS_B * temp_c) / (MAGNUS_A + temp_c)
 
 
+def _dew_point_exact(temp_c: float, rh_percent: float) -> float:
+    gamma = _gamma(temp_c, rh_percent)
+    return MAGNUS_A * gamma / (MAGNUS_B - gamma)
+
+
+_dew_point_cached = lru_cache(maxsize=_CACHE_SIZE)(_dew_point_exact)
+
+
 def dew_point(temp_c: float, rh_percent: float) -> float:
     """Dew point of air at ``temp_c`` degC and ``rh_percent`` %RH.
 
@@ -64,17 +130,14 @@ def dew_point(temp_c: float, rh_percent: float) -> float:
     >>> dew_point(25.0, 50.0) < 25.0
     True
     """
-    gamma = _gamma(temp_c, rh_percent)
-    return MAGNUS_A * gamma / (MAGNUS_B - gamma)
+    if _CACHE_ENABLED:
+        return _dew_point_cached(round(temp_c, _KEY_DECIMALS),
+                                 round(rh_percent, _KEY_DECIMALS))
+    return _dew_point_exact(temp_c, rh_percent)
 
 
-def relative_humidity_from_dew_point(temp_c: float, dew_c: float) -> float:
-    """Invert :func:`dew_point`: %RH such that dew_point(T, RH) == dew_c.
-
-    >>> rh = relative_humidity_from_dew_point(25.0, 18.0)
-    >>> round(dew_point(25.0, rh), 6)
-    18.0
-    """
+def _relative_humidity_from_dew_point_exact(temp_c: float,
+                                            dew_c: float) -> float:
     if dew_c > temp_c + 1e-9:
         raise PsychrometricsError(
             f"dew point {dew_c} cannot exceed dry-bulb {temp_c}")
@@ -86,16 +149,43 @@ def relative_humidity_from_dew_point(temp_c: float, dew_c: float) -> float:
     return max(_MIN_RH, min(rh, 100.0))
 
 
+_relative_humidity_from_dew_point_cached = (
+    lru_cache(maxsize=_CACHE_SIZE)(_relative_humidity_from_dew_point_exact))
+
+
+def relative_humidity_from_dew_point(temp_c: float, dew_c: float) -> float:
+    """Invert :func:`dew_point`: %RH such that dew_point(T, RH) == dew_c.
+
+    >>> rh = relative_humidity_from_dew_point(25.0, 18.0)
+    >>> round(dew_point(25.0, rh), 6)
+    18.0
+    """
+    if _CACHE_ENABLED:
+        return _relative_humidity_from_dew_point_cached(
+            round(temp_c, _KEY_DECIMALS), round(dew_c, _KEY_DECIMALS))
+    return _relative_humidity_from_dew_point_exact(temp_c, dew_c)
+
+
+def _saturation_vapor_pressure_exact(temp_c: float) -> float:
+    if temp_c <= -MAGNUS_A:
+        raise PsychrometricsError(
+            f"temperature {temp_c} degC outside Magnus formula domain")
+    return 611.2 * math.exp(MAGNUS_B * temp_c / (MAGNUS_A + temp_c))
+
+
+_saturation_vapor_pressure_cached = (
+    lru_cache(maxsize=_CACHE_SIZE)(_saturation_vapor_pressure_exact))
+
+
 def saturation_vapor_pressure(temp_c: float) -> float:
     """Saturation vapour pressure over liquid water, Pa (Magnus form).
 
     Uses the same (a, b) coefficients as the paper's dew-point formula so
     the two are mutually consistent: 611.2 * exp(bT / (a+T)).
     """
-    if temp_c <= -MAGNUS_A:
-        raise PsychrometricsError(
-            f"temperature {temp_c} degC outside Magnus formula domain")
-    return 611.2 * math.exp(MAGNUS_B * temp_c / (MAGNUS_A + temp_c))
+    if _CACHE_ENABLED:
+        return _saturation_vapor_pressure_cached(round(temp_c, _KEY_DECIMALS))
+    return _saturation_vapor_pressure_exact(temp_c)
 
 
 def vapor_pressure(temp_c: float, rh_percent: float) -> float:
@@ -105,13 +195,37 @@ def vapor_pressure(temp_c: float, rh_percent: float) -> float:
     return saturation_vapor_pressure(temp_c) * min(rh_percent, 100.0) / 100.0
 
 
-def humidity_ratio(temp_c: float, rh_percent: float,
-                   pressure_pa: float = ATM_PRESSURE) -> float:
-    """Humidity ratio w (kg vapour / kg dry air) at T, RH."""
+def _humidity_ratio_exact(temp_c: float, rh_percent: float,
+                          pressure_pa: float = ATM_PRESSURE) -> float:
     p_vap = vapor_pressure(temp_c, rh_percent)
     if p_vap >= pressure_pa:
         raise PsychrometricsError("vapour pressure exceeds total pressure")
     return EPSILON * p_vap / (pressure_pa - p_vap)
+
+
+_humidity_ratio_cached = lru_cache(maxsize=_CACHE_SIZE)(_humidity_ratio_exact)
+
+
+def humidity_ratio(temp_c: float, rh_percent: float,
+                   pressure_pa: float = ATM_PRESSURE) -> float:
+    """Humidity ratio w (kg vapour / kg dry air) at T, RH."""
+    if _CACHE_ENABLED:
+        return _humidity_ratio_cached(round(temp_c, _KEY_DECIMALS),
+                                      round(rh_percent, _KEY_DECIMALS),
+                                      pressure_pa)
+    return _humidity_ratio_exact(temp_c, rh_percent, pressure_pa)
+
+
+def _humidity_ratio_from_dew_point_exact(
+        dew_c: float, pressure_pa: float = ATM_PRESSURE) -> float:
+    p_vap = _saturation_vapor_pressure_exact(dew_c)
+    if p_vap >= pressure_pa:
+        raise PsychrometricsError("vapour pressure exceeds total pressure")
+    return EPSILON * p_vap / (pressure_pa - p_vap)
+
+
+_humidity_ratio_from_dew_point_cached = (
+    lru_cache(maxsize=_CACHE_SIZE)(_humidity_ratio_from_dew_point_exact))
 
 
 def humidity_ratio_from_dew_point(dew_c: float,
@@ -121,20 +235,14 @@ def humidity_ratio_from_dew_point(dew_c: float,
     The dew point uniquely determines the vapour partial pressure (it is
     the temperature at which that pressure saturates), hence w.
     """
-    p_vap = saturation_vapor_pressure(dew_c)
-    if p_vap >= pressure_pa:
-        raise PsychrometricsError("vapour pressure exceeds total pressure")
-    return EPSILON * p_vap / (pressure_pa - p_vap)
+    if _CACHE_ENABLED:
+        return _humidity_ratio_from_dew_point_cached(
+            round(dew_c, _KEY_DECIMALS), pressure_pa)
+    return _humidity_ratio_from_dew_point_exact(dew_c, pressure_pa)
 
 
-def dew_point_from_humidity_ratio(w: float,
-                                  pressure_pa: float = ATM_PRESSURE) -> float:
-    """Invert :func:`humidity_ratio_from_dew_point`.
-
-    >>> w = humidity_ratio_from_dew_point(18.0)
-    >>> round(dew_point_from_humidity_ratio(w), 6)
-    18.0
-    """
+def _dew_point_from_humidity_ratio_exact(
+        w: float, pressure_pa: float = ATM_PRESSURE) -> float:
     if w <= 0:
         raise PsychrometricsError(f"humidity ratio must be positive, got {w}")
     p_vap = pressure_pa * w / (EPSILON + w)
@@ -145,16 +253,50 @@ def dew_point_from_humidity_ratio(w: float,
     return MAGNUS_A * log_ratio / (MAGNUS_B - log_ratio)
 
 
-def relative_humidity_from_ratio(temp_c: float, w: float,
-                                 pressure_pa: float = ATM_PRESSURE) -> float:
-    """%RH of air at ``temp_c`` with humidity ratio ``w``."""
+_dew_point_from_humidity_ratio_cached = (
+    lru_cache(maxsize=_CACHE_SIZE)(_dew_point_from_humidity_ratio_exact))
+
+
+def dew_point_from_humidity_ratio(w: float,
+                                  pressure_pa: float = ATM_PRESSURE) -> float:
+    """Invert :func:`humidity_ratio_from_dew_point`.
+
+    >>> w = humidity_ratio_from_dew_point(18.0)
+    >>> round(dew_point_from_humidity_ratio(w), 6)
+    18.0
+    """
+    if _CACHE_ENABLED:
+        # Humidity ratios sit around 0.02, so 12 decimals is a relative
+        # quantisation of ~5e-11 — still far below the 1e-9 tolerance.
+        return _dew_point_from_humidity_ratio_cached(
+            round(w, _KEY_DECIMALS + 2), pressure_pa)
+    return _dew_point_from_humidity_ratio_exact(w, pressure_pa)
+
+
+def _relative_humidity_from_ratio_exact(
+        temp_c: float, w: float,
+        pressure_pa: float = ATM_PRESSURE) -> float:
     if w < 0:
         raise PsychrometricsError(f"humidity ratio must be >= 0, got {w}")
     if w == 0:
         return _MIN_RH
     p_vap = pressure_pa * w / (EPSILON + w)
-    rh = 100.0 * p_vap / saturation_vapor_pressure(temp_c)
+    rh = 100.0 * p_vap / _saturation_vapor_pressure_exact(temp_c)
     return max(_MIN_RH, min(rh, 100.0))
+
+
+_relative_humidity_from_ratio_cached = (
+    lru_cache(maxsize=_CACHE_SIZE)(_relative_humidity_from_ratio_exact))
+
+
+def relative_humidity_from_ratio(temp_c: float, w: float,
+                                 pressure_pa: float = ATM_PRESSURE) -> float:
+    """%RH of air at ``temp_c`` with humidity ratio ``w``."""
+    if _CACHE_ENABLED:
+        return _relative_humidity_from_ratio_cached(
+            round(temp_c, _KEY_DECIMALS), round(w, _KEY_DECIMALS + 2),
+            pressure_pa)
+    return _relative_humidity_from_ratio_exact(temp_c, w, pressure_pa)
 
 
 def moist_air_enthalpy(temp_c: float, w: float) -> float:

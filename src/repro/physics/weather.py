@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -29,9 +30,15 @@ class OutdoorState:
     dew_point_c: float
     co2_ppm: float = OUTDOOR_CO2_PPM
 
-    @property
+    @cached_property
     def humidity_ratio(self) -> float:
-        """kg vapour per kg dry air implied by the dew point."""
+        """kg vapour per kg dry air implied by the dew point.
+
+        Cached per instance (``cached_property`` writes straight into
+        ``__dict__``, bypassing the frozen ``__setattr__``): the plant
+        reads it several times per physics step and ``ConstantWeather``
+        hands out one shared instance for the entire run.
+        """
         return humidity_ratio_from_dew_point(self.dew_point_c)
 
 
@@ -82,16 +89,25 @@ class TropicalWeather(WeatherModel):
         raw = rng.normal(0.0, 1.0, 289)
         kernel = np.ones(7) / 7.0
         self._noise = np.convolve(raw, kernel, mode="same")
+        # Last-call memo: the plant and several sensors ask for the
+        # state at the same instant within one physics step.
+        self._last_time: float | None = None
+        self._last_state: OutdoorState | None = None
 
     def _noise_at(self, time_s: float) -> float:
         idx = int((time_s % 86400.0) / 300.0) % len(self._noise)
         return float(self._noise[idx]) * self.noise_c
 
     def state_at(self, time_s: float) -> OutdoorState:
+        if time_s == self._last_time:
+            return self._last_state
         hour = (time_s % 86400.0) / 3600.0
         phase = 2.0 * math.pi * (hour - self.peak_hour) / 24.0
         temp = self.mean_temp_c + self.swing_c * math.cos(phase)
         dew = self.mean_dew_c - self.dew_swing_c * math.cos(phase)
         temp += self._noise_at(time_s)
         dew = min(dew, temp - 0.1)
-        return OutdoorState(temp, dew)
+        state = OutdoorState(temp, dew)
+        self._last_time = time_s
+        self._last_state = state
+        return state

@@ -16,14 +16,16 @@ class ClockError(RuntimeError):
 class SimClock:
     """Monotonically advancing simulated time, in seconds."""
 
+    # ``now`` is a plain attribute, not a property: it is read on every
+    # event dispatch and in most device callbacks, and the descriptor
+    # call was measurable in network-bound runs.  Mutate it only through
+    # ``advance_to``, which enforces monotonicity — the one exception is
+    # ``Simulator.run_until``, whose batch times are monotone by heap
+    # order and which assigns directly to skip the guard.
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._start = float(start_time)
-        self._now = float(start_time)
-
-    @property
-    def now(self) -> float:
-        """Current simulated time (seconds since midnight by convention)."""
-        return self._now
+        self.now = float(start_time)
 
     @property
     def start(self) -> float:
@@ -33,18 +35,18 @@ class SimClock:
     @property
     def elapsed(self) -> float:
         """Seconds elapsed since the simulation epoch."""
-        return self._now - self._start
+        return self.now - self._start
 
     def advance_to(self, time: float) -> None:
         """Move the clock forward to ``time``; backwards moves are errors."""
-        if time < self._now:
+        if time < self.now:
             raise ClockError(
-                f"clock cannot move backwards: {time:.6f} < {self._now:.6f}")
-        self._now = float(time)
+                f"clock cannot move backwards: {time:.6f} < {self.now:.6f}")
+        self.now = float(time)
 
     def wallclock(self) -> str:
         """Render current time as HH:MM:SS (mod 24 h)."""
-        return format_clock(self._now)
+        return format_clock(self.now)
 
 
 def format_clock(seconds: float) -> str:

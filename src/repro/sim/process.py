@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.sim.engine import Event, Simulator, PRIORITY_DEFAULT
+from repro.sim.engine import (Event, SimulationError, Simulator,
+                              PRIORITY_DEFAULT)
 
 
 class Process:
@@ -59,6 +60,15 @@ class PeriodicTask(Process):
         self._priority = priority
         self._jitter = float(jitter)
         self._phase = self._period if phase is None else float(phase)
+        # Jittered tasks hit their RNG stream on every reschedule; cache
+        # the stream and serve draws from a prefetched block of
+        # uniforms.  ``uniform(0, j)`` equals ``j * random()`` bit for
+        # bit (0 + j*u in both), and ``random(n)`` partitions the stream
+        # exactly like n scalar draws — see tests/test_perf_equivalence.
+        self._jitter_stream = (sim.rng.stream(f"task/{name}")
+                               if jitter > 0 else None)
+        self._jitter_buf: list = []
+        self._jitter_idx = 0
         self._pending: Optional[Event] = None
         self._running = False
         self.invocations = 0
@@ -111,9 +121,24 @@ class PeriodicTask(Process):
     # ------------------------------------------------------------------
     def _schedule(self, delay: float) -> None:
         if self._jitter > 0:
-            delay += self.sim.rng.uniform(f"task/{self.name}", 0, self._jitter)
-        self._pending = self.sim.schedule_in(
-            delay, self._fire, priority=self._priority, name=self.name)
+            i = self._jitter_idx
+            buf = self._jitter_buf
+            if i >= len(buf):
+                buf = self._jitter_buf = (
+                    self._jitter_stream.random(64).tolist())
+                i = 0
+            self._jitter_idx = i + 1
+            delay += self._jitter * buf[i]
+        # Direct queue push: the validation of ``schedule_in`` reduces to
+        # the one check below because ``now + delay >= now`` always holds
+        # for a non-negative delay.  Periodic tasks reschedule once per
+        # invocation, making this the busiest scheduling call site.
+        sim = self.sim
+        if delay < 0:
+            raise SimulationError(
+                f"negative delay {delay} for event {self.name!r}")
+        self._pending = sim.queue.push(sim.clock.now + delay, self._priority,
+                                       self._fire, self.name)
 
     def _fire(self) -> None:
         if not self._running:

@@ -1,0 +1,211 @@
+"""Equivalence proofs behind the performance fast paths.
+
+Every optimisation in the hot paths rests on one of the identities
+verified here: RNG block prefetching must consume streams exactly like
+the scalar call sites it replaced, memoised psychrometrics must stay
+within the documented tolerance of the exact functions, and the
+closed-form macro room step must track the 1 Hz Euler reference.  If
+any of these fail, the corresponding fast path is no longer faithful
+and must not ship.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physics import psychrometrics as psy
+from repro.physics.room import Room, SubspaceInputs
+from repro.physics.weather import ConstantWeather
+
+
+# ----------------------------------------------------------------------
+# RNG stream equivalences (jitter buffering, loss prefetch, backoff)
+# ----------------------------------------------------------------------
+class TestRngBlockEquivalence:
+    def test_random_block_partitions_like_scalar_draws(self):
+        """random(n) consumes the stream exactly like n scalar draws."""
+        for seed in range(5):
+            a = np.random.Generator(np.random.PCG64(seed))
+            b = np.random.Generator(np.random.PCG64(seed))
+            scalars = [a.random() for _ in range(100)]
+            block = list(b.random(64)) + list(b.random(36))
+            assert scalars == block
+
+    def test_uniform_is_scaled_random(self):
+        """uniform(0, j) == j * random() bit for bit (0 + j*u in both)."""
+        for seed in range(5):
+            a = np.random.Generator(np.random.PCG64(seed))
+            b = np.random.Generator(np.random.PCG64(seed))
+            for j in (0.3, 1.0, 2.5):
+                assert a.uniform(0.0, j) == j * b.random()
+
+    def test_integers_pow2_matches_32bit_chunk_split(self):
+        """The MAC backoff prefetch replicates ``integers`` exactly.
+
+        For a power-of-two bound w <= 2**32, ``Generator.integers(0, w)``
+        consumes one 32-bit chunk and computes ``(chunk * w) >> 32``;
+        PCG64 serves chunks as the low then high half of successive
+        uint64s, with the half-consumed word cached across calls.
+        Splitting prefetched raw uint64s the same way must reproduce the
+        scalar sequence for any interleaving of window sizes — the exact
+        situation of ``CsmaMac._refill_backoff_chunks``.
+        """
+        for seed in range(4):
+            scalar = np.random.Generator(np.random.PCG64(seed))
+            block = np.random.Generator(np.random.PCG64(seed))
+            windows = np.random.Generator(np.random.PCG64(1000 + seed))
+
+            raw = block.integers(0, 1 << 64, dtype=np.uint64, size=256)
+            chunks = np.empty(512, dtype=np.uint64)
+            chunks[0::2] = raw & np.uint64(0xFFFFFFFF)
+            chunks[1::2] = raw >> np.uint64(32)
+            chunks = chunks.tolist()
+
+            for i in range(512):
+                w = int(windows.choice([8, 16, 32, 64]))
+                expected = int(scalar.integers(0, w))
+                assert (chunks[i] * w) >> 32 == expected
+
+    def test_uint64_block_matches_scalar_raw_draws(self):
+        """Full-range uint64 blocks partition the stream like scalars."""
+        a = np.random.Generator(np.random.PCG64(11))
+        b = np.random.Generator(np.random.PCG64(11))
+        block = b.integers(0, 1 << 64, dtype=np.uint64, size=64).tolist()
+        scalars = [int(a.integers(0, 1 << 64, dtype=np.uint64))
+                   for _ in range(64)]
+        assert block == scalars
+
+
+# ----------------------------------------------------------------------
+# Memoised psychrometrics
+# ----------------------------------------------------------------------
+class TestPsychrometricMemoisation:
+    def setup_method(self):
+        psy.cache_clear()
+
+    def test_dew_point_within_1e9_of_exact(self):
+        for w in np.linspace(0.002, 0.028, 400):
+            cached = psy.dew_point_from_humidity_ratio(w)
+            exact = psy._dew_point_from_humidity_ratio_exact(w)
+            assert cached == pytest.approx(exact, abs=1e-9)
+
+    def test_saturation_pressure_within_tolerance(self):
+        for t in np.linspace(-5.0, 45.0, 400):
+            cached = psy.saturation_vapor_pressure(t)
+            exact = psy._saturation_vapor_pressure_exact(t)
+            assert cached == pytest.approx(exact, rel=1e-9)
+
+    def test_cache_disabled_is_bit_exact(self):
+        psy.configure_cache(False)
+        try:
+            for w in np.linspace(0.002, 0.028, 50):
+                assert (psy.dew_point_from_humidity_ratio(w)
+                        == psy._dew_point_from_humidity_ratio_exact(w))
+        finally:
+            psy.configure_cache(True)
+
+    def test_key_rounding_perturbation_is_small(self):
+        """Keys are rounded to 12 decimals; the induced input shift must
+        stay below 5e-13 relative for the magnitudes the room produces."""
+        for x in (0.0123456789012345, 24.9046552164, 101325.0):
+            assert abs(round(x, 12) - x) <= 5e-13 * max(abs(x), 1.0)
+
+
+# ----------------------------------------------------------------------
+# Macro room step vs 1 Hz Euler reference
+# ----------------------------------------------------------------------
+def _trial_inputs():
+    """Boundary inputs of the kind the §V-A trial produces."""
+    return [
+        SubspaceInputs(panel_heat_w=580.0, vent_flow_m3s=0.022,
+                       vent_supply_temp_c=16.5, vent_supply_w=0.0095,
+                       occupants=2.0, equipment_w=40.0,
+                       door_open_fraction=0.0),
+        SubspaceInputs(panel_heat_w=585.0, vent_flow_m3s=0.021,
+                       vent_supply_temp_c=16.4, vent_supply_w=0.0094,
+                       occupants=1.0, equipment_w=40.0,
+                       door_open_fraction=0.1),
+        SubspaceInputs(panel_heat_w=560.0, vent_flow_m3s=0.020,
+                       vent_supply_temp_c=16.6, vent_supply_w=0.0096,
+                       occupants=2.0, equipment_w=40.0,
+                       door_open_fraction=0.0),
+        SubspaceInputs(panel_heat_w=575.0, vent_flow_m3s=0.023,
+                       vent_supply_temp_c=16.5, vent_supply_w=0.0095,
+                       occupants=0.0, equipment_w=40.0,
+                       door_open_fraction=0.0),
+    ]
+
+
+class TestMacroRoomStep:
+    def test_macro_tracks_euler_over_full_trial_length(self):
+        """Closed-form gaps vs 1 Hz Euler over the §V-A horizon.
+
+        The macro room is advanced in 5 s closed-form gaps (the longest
+        the paper trials produce) for the full 105 simulated minutes of
+        the §V-A trial and must track the unit-Euler reference within
+        the documented tolerance — the truncation error of the
+        reference itself.
+        """
+        outdoor = ConstantWeather(28.9, 27.4).state_at(0.0)
+        inputs = _trial_inputs()
+        euler = Room()
+        macro = Room()
+        horizon = 105 * 60
+        for _ in range(horizon):
+            euler.step(1.0, outdoor, inputs)
+        for _ in range(horizon // 5):
+            macro.macro_step(5.0, outdoor, inputs)
+        for i in range(4):
+            se, sm = euler.state_of(i), macro.state_of(i)
+            assert sm.temp_c == pytest.approx(se.temp_c, abs=0.02)
+            assert sm.humidity_ratio == pytest.approx(
+                se.humidity_ratio, abs=2e-5)
+            assert sm.co2_ppm == pytest.approx(se.co2_ppm, abs=0.5)
+
+    def test_single_long_gap_matches_equilibrium(self):
+        """A very long closed-form step lands on the ODE equilibrium,
+        which Euler also converges to — the analytic path is exact, not
+        an extrapolation."""
+        outdoor = ConstantWeather(28.9, 27.4).state_at(0.0)
+        inputs = _trial_inputs()
+        euler = Room()
+        macro = Room()
+        for _ in range(48 * 3600):
+            euler.step(1.0, outdoor, inputs)
+        macro.macro_step(48 * 3600.0, outdoor, inputs)
+        for i in range(4):
+            se, sm = euler.state_of(i), macro.state_of(i)
+            assert sm.temp_c == pytest.approx(se.temp_c, abs=0.05)
+            assert sm.co2_ppm == pytest.approx(se.co2_ppm, abs=1.0)
+
+    def test_macro_decomposition_cache_reused(self):
+        outdoor = ConstantWeather(28.9, 27.4).state_at(0.0)
+        inputs = _trial_inputs()
+        room = Room()
+        room.macro_step(4.0, outdoor, inputs)
+        assert len(room._macro_cache) == 1
+        room.macro_step(4.0, outdoor, inputs)
+        assert len(room._macro_cache) == 1  # same losses -> same entry
+        inputs[0].vent_flow_m3s = 0.05
+        room.macro_step(4.0, outdoor, inputs)
+        assert len(room._macro_cache) == 2
+
+    def test_macro_respects_floors(self):
+        """The w/CO2 floors bind at the end of a gap like in Euler."""
+        outdoor = ConstantWeather(28.9, -20.0).state_at(0.0)
+        dry = [SubspaceInputs(vent_flow_m3s=0.2, vent_supply_w=0.0,
+                              vent_supply_temp_c=16.0, occupants=0.0)
+               for _ in range(4)]
+        room = Room(initial_co2_ppm=450.0)
+        room.macro_step(48 * 3600.0, outdoor, dry)
+        for i in range(4):
+            state = room.state_of(i)
+            assert state.humidity_ratio >= 1e-5
+            assert state.co2_ppm >= outdoor.co2_ppm * 0.5
+
+    def test_macro_rejects_wrong_input_count(self):
+        outdoor = ConstantWeather(28.9, 27.4).state_at(0.0)
+        room = Room()
+        with pytest.raises(ValueError):
+            room.macro_step(5.0, outdoor, _trial_inputs()[:2])

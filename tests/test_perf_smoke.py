@@ -1,0 +1,76 @@
+"""Perf smoke test: macro-stepped physics vs the reference scheduler.
+
+Runs a shortened direct-mode trial (the wired control loop leaves
+multi-second event-free gaps, so the macro path actually engages) twice
+— ``physics_macro_step`` on and off — and checks that the COP and
+comfort outcomes agree within the documented tolerance while the macro
+run dispatches measurably fewer events.  This is the guardrail that the
+fast path never drifts from the physics the paper's numbers rest on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BubbleZeroConfig, NetworkConfig
+from repro.core.system import BubbleZero
+
+TRIAL_MINUTES = 30.0
+
+
+def _run_direct_trial(macro: bool):
+    config = BubbleZeroConfig(
+        seed=7,
+        physics_macro_step=macro,
+        network=NetworkConfig(enabled=False))
+    system = BubbleZero(config)
+    system.start()
+    system.run(minutes=TRIAL_MINUTES / 2)
+    before = system.plant.meter_snapshot()
+    system.run(minutes=TRIAL_MINUTES / 2)
+    after = system.plant.meter_snapshot()
+    system.finalize()
+    room = system.plant.room
+    return {
+        "system": system,
+        "cop": system.plant.cop_between(before, after)["bubble_zero"],
+        "mean_temp_c": room.mean_temp_c(),
+        "mean_dew_c": room.mean_dew_point_c(),
+        "mean_co2": room.mean_co2_ppm(),
+        "radiant_heat_j": after["radiant_heat_j"],
+        "vent_heat_j": after["vent_heat_j"],
+        "events": system.sim.events_dispatched,
+    }
+
+
+@pytest.fixture(scope="module")
+def trial_pair():
+    return _run_direct_trial(macro=True), _run_direct_trial(macro=False)
+
+
+class TestPerfSmoke:
+    def test_macro_path_engages(self, trial_pair):
+        macro, reference = trial_pair
+        assert macro["system"].physics_macro_steps > 0
+        assert reference["system"].physics_macro_steps == 0
+        assert macro["events"] < reference["events"]
+
+    def test_cop_matches_reference(self, trial_pair):
+        macro, reference = trial_pair
+        assert macro["cop"] == pytest.approx(reference["cop"], rel=0.02)
+
+    def test_comfort_matches_reference(self, trial_pair):
+        macro, reference = trial_pair
+        assert macro["mean_temp_c"] == pytest.approx(
+            reference["mean_temp_c"], abs=0.05)
+        assert macro["mean_dew_c"] == pytest.approx(
+            reference["mean_dew_c"], abs=0.05)
+        assert macro["mean_co2"] == pytest.approx(
+            reference["mean_co2"], abs=5.0)
+
+    def test_metered_energy_matches_reference(self, trial_pair):
+        macro, reference = trial_pair
+        assert macro["radiant_heat_j"] == pytest.approx(
+            reference["radiant_heat_j"], rel=0.02)
+        assert macro["vent_heat_j"] == pytest.approx(
+            reference["vent_heat_j"], rel=0.02)
