@@ -42,6 +42,41 @@ _BACKOFF_WINDOW = tuple(2 ** be for be in range(MAX_BE + 1))
 # Each uint64 yields two 32-bit draw chunks.
 _BACKOFF_BLOCK = 128
 
+# Result of the one-time prefetch self-check (None = not yet run).
+_PREFETCH_OK: Optional[bool] = None
+
+
+def _prefetch_is_exact() -> bool:
+    """Verify the chunk-prefetch trick against ``Generator.integers``.
+
+    ``_refill_backoff_chunks`` relies on undocumented numpy internals:
+    PCG64 serving 32-bit draw chunks as the low/high halves of
+    successive uint64s, and ``integers`` spending exactly one chunk per
+    draw for the power-of-two backoff windows.  numpy is not pinned, so
+    before trusting the trick we replay a few prefetched chunks against
+    what ``integers`` itself returns from an identically seeded
+    generator; any mismatch (a future numpy changing either internal)
+    disables prefetching for the whole process and every MAC falls back
+    to per-draw scalar calls — slower, but correct on any numpy.
+    """
+    global _PREFETCH_OK
+    if _PREFETCH_OK is None:
+        raw = np.random.Generator(np.random.PCG64(0xB0FF)).integers(
+            0, 1 << 64, dtype=np.uint64, size=8)
+        chunks = np.empty(16, dtype=np.uint64)
+        chunks[0::2] = raw & np.uint64(0xFFFFFFFF)
+        chunks[1::2] = raw >> np.uint64(32)
+        ref = np.random.Generator(np.random.PCG64(0xB0FF))
+        windows = _BACKOFF_WINDOW[MIN_BE:MAX_BE + 1]
+        ok = True
+        for i, chunk in enumerate(chunks.tolist()):
+            w = windows[i % len(windows)]
+            if (chunk * w) >> 32 != int(ref.integers(0, w)):
+                ok = False
+                break
+        _PREFETCH_OK = ok
+    return _PREFETCH_OK
+
 
 @dataclass(slots=True)
 class MacStats:
@@ -86,7 +121,12 @@ class CsmaMac:
         self._rng = sim.rng.stream(f"mac/{device_id}")
         # Prefetched backoff draws (see ``_refill_backoff_chunks``): the
         # mac stream is consumed only by ``_attempt``, so its 32-bit
-        # draw chunks can be buffered ahead of time.
+        # draw chunks can be buffered ahead of time — but only when the
+        # self-check confirms this numpy still serves chunks the way the
+        # trick assumes, and the stream really is PCG64-backed.
+        self._prefetch = (_prefetch_is_exact()
+                          and isinstance(self._rng.bit_generator,
+                                         np.random.PCG64))
         self._chunk_buf: List[int] = []
         self._chunk_idx = 0
         # Event names are rebuilt on every schedule otherwise — three
@@ -149,13 +189,19 @@ class CsmaMac:
 
     def _attempt(self, packet: Packet, enqueue_time: float,
                  attempt: int, be: int) -> None:
-        i = self._chunk_idx
-        buf = self._chunk_buf
-        if i >= len(buf):
-            buf = self._refill_backoff_chunks()
-            i = 0
-        self._chunk_idx = i + 1
-        slots = (buf[i] * _BACKOFF_WINDOW[be]) >> 32
+        window = _BACKOFF_WINDOW[be]
+        if self._prefetch:
+            i = self._chunk_idx
+            buf = self._chunk_buf
+            if i >= len(buf):
+                buf = self._refill_backoff_chunks()
+                i = 0
+            self._chunk_idx = i + 1
+            slots = (buf[i] * window) >> 32
+        else:
+            # Self-check failed: draw per call, the sequence ``integers``
+            # defines rather than the one the prefetch trick predicts.
+            slots = int(self._rng.integers(0, window))
         delay = slots * UNIT_BACKOFF_S
         if attempt:
             self.stats.backoffs += 1

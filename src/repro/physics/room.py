@@ -360,11 +360,13 @@ class Room:
         macro-stepping fast path: one call replaces ``dt`` unit Euler
         ticks when the scheduler finds an event-free gap.  It differs
         from unit stepping only by the Euler truncation error of the
-        reference path itself; the floor clamps below are applied once
-        at the end of the gap rather than once per tick, which matters
-        only in regimes where they bind (they never do in the paper's
-        trials).  Falls back to :meth:`step` if the linear algebra
-        degenerates.
+        reference path itself.  The reference path clamps humidity
+        (>= 1e-5) and CO2 (>= half outdoor) once per tick; whenever the
+        closed-form trajectory touches either floor — probed at the
+        gap's start, midpoint and endpoint — the gap is handed back to
+        :meth:`step` so the clamp binds at the same tick it would on
+        the reference path.  Also falls back to :meth:`step` if the
+        linear algebra degenerates.
         """
         if len(inputs) != len(self.subspaces):
             raise ValueError(
@@ -447,16 +449,30 @@ class Room:
         exp_vals = np.exp(vals * dt)
         new_state = ((vecs @ (exp_vals[..., None] * y0))[..., 0] + x_eq).real
 
+        # The reference path applies the floor clamps once per tick, so
+        # a floor that binds anywhere inside the gap makes the unclamped
+        # closed form diverge from it.  Probe the trajectory at the
+        # gap's start (a state already pinned at a floor means the clamp
+        # is actively binding), midpoint and endpoint; on any touch,
+        # integrate this gap per tick instead.  The eigenvalues are real
+        # (the coupling matrix is similar to a symmetric one via the
+        # capacity scaling), so trajectories are sums of real
+        # exponentials and the three probes bracket any excursion the
+        # scheduler's gap lengths can produce.
         co2_floor = outdoor_co2 * 0.5
+        mid_state = ((vecs @ (np.exp(vals * (0.5 * dt))[..., None] * y0))
+                     [..., 0] + x_eq).real
+        if (new_state[1].min() < 1e-5 or mid_state[1].min() < 1e-5
+                or x0[1].min() <= 1e-5
+                or new_state[2].min() < co2_floor
+                or mid_state[2].min() < co2_floor
+                or x0[2].min() <= co2_floor):
+            self.step(dt, outdoor, inputs)
+            return
+
         new_t, new_w, new_c = new_state
         for i, subspace in enumerate(subspaces):
-            w = new_w[i]
-            if w < 1e-5:
-                w = 1e-5
-            co2 = new_c[i]
-            if co2 < co2_floor:
-                co2 = co2_floor
-            subspace.state = SubspaceState(new_t[i], w, co2)
+            subspace.state = SubspaceState(new_t[i], new_w[i], new_c[i])
 
     # ------------------------------------------------------------------
     def record_condensation(self) -> None:

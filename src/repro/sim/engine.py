@@ -172,9 +172,17 @@ class EventQueue:
             self.compact()
 
     def compact(self) -> None:
-        """Drop cancelled entries and re-heapify (O(live))."""
-        self._heap = [entry for entry in self._heap
-                      if entry[5] is None or not entry[5].cancelled]
+        """Drop cancelled entries and re-heapify (O(live)).
+
+        Mutates the heap list *in place*: ``run_until`` holds a local
+        alias to it, and compaction can be triggered from inside an
+        event callback (a cancel during dispatch), so rebinding
+        ``self._heap`` to a fresh list would strand that alias on a
+        stale snapshot — dropping later events and re-dispatching the
+        survivors on the next run.
+        """
+        self._heap[:] = [entry for entry in self._heap
+                         if entry[5] is None or not entry[5].cancelled]
         heapq.heapify(self._heap)
 
     @property

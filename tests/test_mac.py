@@ -83,3 +83,46 @@ class TestCsmaMac:
         medium = BroadcastMedium(sim)
         mac = CsmaMac(sim, medium, "a")
         assert mac.stats.drop_rate == 0.0
+
+
+class TestBackoffPrefetchFallback:
+    def test_self_check_passes_on_this_numpy(self):
+        """This numpy serves 32-bit chunks the way the prefetch assumes."""
+        from repro.net import mac as mac_module
+        assert mac_module._prefetch_is_exact()
+
+    def test_macs_enable_prefetch_under_self_check(self, sim):
+        medium = BroadcastMedium(sim, loss_probability=0.0)
+        assert CsmaMac(sim, medium, "a")._prefetch
+
+    def test_scalar_fallback_reproduces_prefetched_trajectory(self):
+        """Disabling prefetch (the failed-self-check path) changes nothing.
+
+        The scalar fallback draws one ``integers`` call per backoff —
+        the exact sequence the prefetched chunks replicate — so a
+        contended multi-device run must produce identical delivery
+        times and MAC statistics either way.
+        """
+        from repro.sim.engine import Simulator
+
+        def run(prefetch):
+            sim = Simulator(seed=7)
+            medium = BroadcastMedium(sim, loss_probability=0.0)
+            received = []
+            medium.attach_receiver(
+                "rx", lambda p, s: received.append((s, sim.now)))
+            macs = [CsmaMac(sim, medium, f"dev{i}") for i in range(4)]
+            for mac in macs:
+                mac._prefetch = prefetch
+            # Simultaneous bursts force contention: CCA failures and
+            # growing backoff windows exercise every draw path.
+            for mac in macs:
+                for _ in range(5):
+                    mac.send(make_packet(source=mac.device_id))
+            sim.run(2.0)
+            stats = [(m.stats.sent, m.stats.dropped, m.stats.backoffs,
+                      m.stats.cca_failures, m.stats.total_access_delay_s)
+                     for m in macs]
+            return received, stats
+
+        assert run(True) == run(False)

@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.physics import psychrometrics as psy
-from repro.physics.room import Room, SubspaceInputs
+from repro.physics.room import Room, SubspaceInputs, SubspaceState
 from repro.physics.weather import ConstantWeather
 
 
@@ -192,7 +192,7 @@ class TestMacroRoomStep:
         assert len(room._macro_cache) == 2
 
     def test_macro_respects_floors(self):
-        """The w/CO2 floors bind at the end of a gap like in Euler."""
+        """The w/CO2 floors hold across a gap in which they bind."""
         outdoor = ConstantWeather(28.9, -20.0).state_at(0.0)
         dry = [SubspaceInputs(vent_flow_m3s=0.2, vent_supply_w=0.0,
                               vent_supply_temp_c=16.0, occupants=0.0)
@@ -203,6 +203,55 @@ class TestMacroRoomStep:
             state = room.state_of(i)
             assert state.humidity_ratio >= 1e-5
             assert state.co2_ppm >= outdoor.co2_ppm * 0.5
+
+    def test_binding_gap_falls_back_to_per_tick_path(self):
+        """A gap starting pinned at a floor is integrated per tick.
+
+        The reference path clamps per tick, so a macro gap in a
+        clamp-binding regime must delegate to :meth:`Room.step` — the
+        resulting states are then bit-identical, not merely close.
+        """
+        outdoor = ConstantWeather(28.9, -20.0).state_at(0.0)
+        dry = [SubspaceInputs(vent_flow_m3s=0.2, vent_supply_w=0.0,
+                              vent_supply_temp_c=16.0, occupants=0.0)
+               for _ in range(4)]
+        macro, euler = Room(), Room()
+        for room in (macro, euler):
+            for s in room.subspaces:
+                s.state = SubspaceState(24.0, 1e-5, 450.0)
+        macro.macro_step(30.0, outdoor, dry)
+        euler.step(30.0, outdoor, dry)
+        for i in range(4):
+            sm, se = macro.state_of(i), euler.state_of(i)
+            assert (sm.temp_c, sm.humidity_ratio, sm.co2_ppm) == (
+                se.temp_c, se.humidity_ratio, se.co2_ppm)
+
+    def test_macro_matches_euler_when_floor_binds_mid_trial(self):
+        """Macro gaps crossing into a binding-clamp regime track Euler.
+
+        The room is driven with bone-dry ventilation until the humidity
+        floor binds mid-trial.  The macro path must detect the binding
+        clamp (probing each gap's start/mid/end) and fall back to
+        per-tick stepping for those gaps, ending pinned at the floor
+        exactly like the 1 Hz reference instead of silently diverging.
+        """
+        outdoor = ConstantWeather(28.9, -20.0).state_at(0.0)
+        dry = [SubspaceInputs(vent_flow_m3s=0.2, vent_supply_w=0.0,
+                              vent_supply_temp_c=16.0, occupants=0.0)
+               for _ in range(4)]
+        euler = Room(initial_co2_ppm=450.0)
+        macro = Room(initial_co2_ppm=450.0)
+        horizon = 3600
+        for _ in range(horizon):
+            euler.step(1.0, outdoor, dry)
+        for _ in range(horizon // 60):
+            macro.macro_step(60.0, outdoor, dry)
+        for i in range(4):
+            se, sm = euler.state_of(i), macro.state_of(i)
+            assert se.humidity_ratio == 1e-5  # the floor really binds
+            assert sm.humidity_ratio == 1e-5
+            assert sm.temp_c == pytest.approx(se.temp_c, abs=0.02)
+            assert sm.co2_ppm == pytest.approx(se.co2_ppm, abs=0.5)
 
     def test_macro_rejects_wrong_input_count(self):
         outdoor = ConstantWeather(28.9, 27.4).state_at(0.0)

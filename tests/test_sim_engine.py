@@ -160,3 +160,68 @@ class TestSimulator:
         sim.schedule_in(5.0, lambda: fired.append(sim.now))
         sim.run(10.0)
         assert fired == [105.0]
+
+
+class TestHeapCompaction:
+    def test_compact_reclaims_cancelled_entries(self, sim):
+        """Heavy cancellation shrinks the raw heap, not just __len__."""
+        events = [sim.schedule_at(10.0 + i, lambda: None) for i in range(128)]
+        assert sim.queue.heap_size == 128
+        for event in events[: 100]:
+            event.cancel()
+        assert len(sim.queue) == 28
+        assert sim.queue.heap_size < 64  # compaction reclaimed the rest
+
+    def test_compact_inside_callback_keeps_run_until_consistent(self, sim):
+        """Cancel-triggered compaction mid-run must not strand run_until.
+
+        Regression test: ``compact()`` used to rebind ``_heap`` to a
+        fresh list while ``run_until`` iterated a local alias of the old
+        one — events scheduled after the compaction were silently
+        dropped, surviving entries were re-dispatched by the next run,
+        and the clock moved backwards.  Compaction now mutates the list
+        in place, so a callback that cancels most of the queue must
+        leave exactly-once dispatch and a monotone clock intact.
+        """
+        from collections import Counter
+        from functools import partial
+
+        fired = Counter()
+        times = []
+        heap_sizes = []
+
+        def record(tag):
+            times.append(sim.now)
+            fired[tag] += 1
+
+        victims = [
+            sim.schedule_at(50.0 + 0.01 * i, partial(record, f"victim-{i}"))
+            for i in range(100)
+        ]
+
+        def cancel_most_and_schedule_more():
+            # 80 of 120 pending entries cancelled: the heap is >= 64
+            # entries and the cancelled fraction crosses 1/2, so
+            # compaction fires while run_until is mid-dispatch.
+            for event in victims[20:]:
+                event.cancel()
+            heap_sizes.append(sim.queue.heap_size)
+            # Scheduled *after* the compaction: these land in whatever
+            # list the queue now owns and must still be dispatched.
+            for i in range(20):
+                sim.schedule_at(60.0 + i, partial(record, f"late-{i}"))
+
+        sim.schedule_at(10.0, cancel_most_and_schedule_more)
+
+        sim.run_until(200.0)
+        assert heap_sizes and heap_sizes[0] < 100  # compaction really ran
+
+        expected = {f"victim-{i}": 1 for i in range(20)}
+        expected.update({f"late-{i}": 1 for i in range(20)})
+        assert dict(fired) == expected      # exactly once, none dropped
+        assert times == sorted(times)       # clock never moved backwards
+        assert sim.now == 200.0
+
+        # Nothing survives to be re-dispatched by a later run.
+        assert sim.run_until(400.0) == 0
+        assert dict(fired) == expected
