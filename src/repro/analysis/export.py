@@ -105,3 +105,24 @@ def load_summary_json(path: str) -> Dict:
     """Read back a summary written by :func:`export_summary_json`."""
     with Path(path).open() as handle:
         return json.load(handle)
+
+
+def export_campaign_json(result, path: str) -> None:
+    """Write a campaign's :meth:`report_dict` as deterministic JSON.
+
+    Deterministic means byte-identical across re-runs of the same
+    config: keys are sorted and no wall-clock timestamps are included,
+    so the reproducibility check can diff the files directly.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as handle:
+        json.dump(result.report_dict(), handle, indent=2, sort_keys=True,
+                  default=float)
+        handle.write("\n")
+
+
+def load_campaign_json(path: str) -> Dict:
+    """Read back a report written by :func:`export_campaign_json`."""
+    with Path(path).open() as handle:
+        return json.load(handle)

@@ -42,6 +42,59 @@ def render_series(title: str, points: Sequence[Tuple[float, float]],
     return render_table(title, [x_label, y_label], rows)
 
 
+def render_campaign_report(result) -> str:
+    """Markdown report of a fault campaign (see repro.workloads.campaign).
+
+    One row per cell: what was injected, what it cost relative to the
+    fault-free baseline, and how the graceful-degradation machinery
+    responded (staleness, fallback tiers, conservative-mode entries).
+    """
+    lines = [
+        "# Fault campaign report",
+        "",
+        f"- seed: {result.seed}",
+        f"- run length: {result.run_minutes:g} simulated minutes per cell "
+        f"(scored after a {result.warmup_minutes:g} min warmup)",
+        f"- baseline comfort violation: "
+        f"{result.baseline.total_comfort_violation_min:.2f} min "
+        f"(sum over 4 subspaces)",
+        f"- baseline condensation events: "
+        f"{result.baseline.condensation_events}",
+        f"- baseline run hash: `{result.baseline_hash[:16]}`",
+        "",
+        "| cell | faults | excess comfort (min) | excess dew-risk (min) "
+        "| cond. | excess energy (Wh) | max staleness (s) | fallbacks "
+        "| conservative | recovery (s) | graceful |",
+        "|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for cell in result.cells:
+        score = cell.score
+        recovery = ("-" if score.recovery_s is None
+                    else f"{score.recovery_s:.0f}")
+        graceful = {True: "yes", False: "NO", None: "-"}[cell.graceful]
+        fallbacks = (f"{score.degraded_estimates}/"
+                     f"{score.fallback_estimates}")
+        lines.append(
+            f"| {cell.cell.name} | {cell.cell.describe()} "
+            f"| {score.excess_comfort_min:+.2f} "
+            f"| {score.excess_dew_violation_min:+.2f} "
+            f"| {score.excess_condensation:+d} "
+            f"| {score.excess_energy_j / 3600.0:+.1f} "
+            f"| {score.max_staleness_s:.0f} "
+            f"| {fallbacks} "
+            f"| {score.conservative_entries} "
+            f"| {recovery} | {graceful} |")
+    lines += [
+        "",
+        "Legend: *excess* columns are faulted minus baseline; "
+        "*fallbacks* counts widened-window / last-good-decay estimate "
+        "activations; *conservative* counts supervisor latch entries; "
+        "*graceful* applies the documented single-crash bound "
+        "(see DESIGN.md §7).",
+    ]
+    return "\n".join(lines)
+
+
 def render_cop_bars(cops: Dict[str, float]) -> str:
     """The Fig. 11 bar chart as text, with a proportional bar."""
     lines = ["Energy efficiency (COP) — paper Fig. 11"]

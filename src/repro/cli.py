@@ -61,6 +61,20 @@ def build_parser() -> argparse.ArgumentParser:
                        default="all")
     bench.add_argument("--no-macro", action="store_true")
     bench.add_argument("-o", "--output", default="BENCH_1.json")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="fault-injection campaign scored against a clean baseline")
+    campaign.add_argument("--quick", action="store_true",
+                          help="the fast 10-cell matrix, 45 min per cell "
+                               "(default: onset/severity sweep, 60 min)")
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--minutes", type=float, default=None,
+                          help="override the per-cell run length")
+    campaign.add_argument("--report", metavar="PATH",
+                          help="write the markdown report here")
+    campaign.add_argument("--json", metavar="PATH", dest="json_path",
+                          help="write the machine-readable report here")
     return parser
 
 
@@ -153,6 +167,43 @@ def cmd_lifetime(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.export import export_campaign_json
+    from repro.analysis.reporting import render_campaign_report
+    from repro.workloads.campaign import (
+        full_campaign_config,
+        quick_campaign_config,
+        run_campaign,
+    )
+
+    config = (quick_campaign_config(seed=args.seed) if args.quick
+              else full_campaign_config(seed=args.seed))
+    if args.minutes is not None:
+        config.run_minutes = args.minutes
+    result = run_campaign(config, progress=lambda m: print(f"  {m}",
+                                                           flush=True))
+    report = render_campaign_report(result)
+    print()
+    print(report)
+    if args.report:
+        out = Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
+        print(f"wrote report to {args.report}")
+    if args.json_path:
+        export_campaign_json(result, args.json_path)
+        print(f"wrote JSON to {args.json_path}")
+    failed = [cell.cell.name for cell in result.cells
+              if cell.graceful is False]
+    if failed:
+        print(f"single-crash cells exceeding the graceful bound: "
+              f"{', '.join(failed)}")
+        return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main as bench_main
 
@@ -165,7 +216,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "cop": cmd_cop, "lifetime": cmd_lifetime,
-                "bench": cmd_bench}
+                "bench": cmd_bench, "campaign": cmd_campaign}
     return handlers[args.command](args)
 
 

@@ -62,6 +62,10 @@ class RadiantCoolingController:
         self.max_flow_lps = max_flow_lps
         self.pump_curve = pump_curve
         self.dew_margin_k = dew_margin_k
+        # Extra margin the supervisor latches on while humidity sensing
+        # is compromised (see repro.control.supervisor); 0 in healthy
+        # operation so the fault-free trajectory is untouched.
+        self.conservative_extra_margin_k = 0.0
         # The PID regulates delta = T_pref - T_room around zero; its
         # error is then T_room - T_pref, so a hot room drives the output
         # (the flow target) up.  See PIDController docs.
@@ -81,7 +85,8 @@ class RadiantCoolingController:
         # (1)-(2): condensation-safe mixed-water temperature target.
         mix_temp = mix_temperature_target(
             inputs.supply_temp_c,
-            inputs.ceiling_dew_point_c + self.dew_margin_k)
+            inputs.ceiling_dew_point_c + self.dew_margin_k
+            + self.conservative_extra_margin_k)
 
         # Safety interlock: when the room is so humid that even pure
         # recycle water sits below the required mixed temperature, no

@@ -12,11 +12,19 @@ controllers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.control.radiant import RadiantCoolingController
 from repro.control.ventilation import VentilationController
 from repro.physics.psychrometrics import dew_point
+
+# Conservative-mode latch: extra dew-point margin applied to the
+# radiant loop while humidity sensing is compromised, and how long
+# sensing must stay healthy before the latch releases.  The margin
+# biases toward condensation safety (warmer panels, less cooling) —
+# the correct failure direction for a chilled ceiling.
+CONSERVATIVE_EXTRA_MARGIN_K = 1.5
+CONSERVATIVE_HOLD_S = 300.0
 
 
 @dataclass
@@ -50,6 +58,11 @@ class Supervisor:
         self.preferences = preferences or OccupantPreferences()
         self._radiant: List[RadiantCoolingController] = []
         self._ventilation: List[VentilationController] = []
+        self.conservative_mode = False
+        self.conservative_entries = 0
+        self.conservative_mode_s = 0.0
+        self._conservative_since: Optional[float] = None
+        self._healthy_since: Optional[float] = None
 
     def register_radiant(self, controller: RadiantCoolingController) -> None:
         self._radiant.append(controller)
@@ -70,6 +83,48 @@ class Supervisor:
             controller.set_preferences(preferences.temp_c,
                                        preferences.rh_percent)
             controller.co2_target_ppm = preferences.co2_ppm
+
+    # ------------------------------------------------------------------
+    # Conservative-mode latch (graceful degradation, paper §II)
+    # ------------------------------------------------------------------
+    def note_humidity_sensing(self, compromised: bool, now: float) -> None:
+        """Health report from a humidity consumer (Control-C-2).
+
+        Compromised sensing latches conservative mode immediately: every
+        radiant controller gains :data:`CONSERVATIVE_EXTRA_MARGIN_K` of
+        dew-point margin.  The latch only releases after sensing has
+        stayed healthy for :data:`CONSERVATIVE_HOLD_S` — a dead node
+        flapping at the staleness boundary must not chatter the margin.
+        """
+        if compromised:
+            self._healthy_since = None
+            if not self.conservative_mode:
+                self.conservative_mode = True
+                self.conservative_entries += 1
+                self._conservative_since = now
+                for controller in self._radiant:
+                    controller.conservative_extra_margin_k = (
+                        CONSERVATIVE_EXTRA_MARGIN_K)
+            return
+        if not self.conservative_mode:
+            return
+        if self._healthy_since is None:
+            self._healthy_since = now
+        elif now - self._healthy_since >= CONSERVATIVE_HOLD_S:
+            self.conservative_mode = False
+            self._healthy_since = None
+            if self._conservative_since is not None:
+                self.conservative_mode_s += now - self._conservative_since
+                self._conservative_since = None
+            for controller in self._radiant:
+                controller.conservative_extra_margin_k = 0.0
+
+    def conservative_seconds(self, now: float) -> float:
+        """Total time spent latched conservative, up to ``now``."""
+        total = self.conservative_mode_s
+        if self._conservative_since is not None:
+            total += now - self._conservative_since
+        return total
 
     @property
     def radiant_controllers(self) -> List[RadiantCoolingController]:

@@ -235,6 +235,7 @@ class BubbleZero:
             co2_ppm=comfort.co2_target_ppm))
         from repro.devices.boards import ControlC2, ControlV1, ControlV2
         for board in self.boards:
+            board.supervisor = supervisor
             if isinstance(board, ControlC2):
                 for controller in board.controllers:
                     supervisor.register_radiant(controller)
@@ -452,6 +453,35 @@ class BubbleZero:
         if self.medium is None:
             return {}
         return self.medium.stats()
+
+    def degradation_status(self) -> Dict[str, object]:
+        """How gracefully the system is degrading right now.
+
+        Aggregates the supplier-loss bookkeeping of every board (tier-2
+        widened-window and tier-3 last-good-with-decay activations, the
+        worst estimate staleness seen) with the supervisor's
+        conservative-mode latch and the crashed-node roster — the raw
+        material of :mod:`repro.analysis.degradation` scoring.
+        """
+        return {
+            "crashed_nodes": sorted(node.device_id
+                                    for node in self.bt_nodes
+                                    if node.crashed),
+            "stuck_sensors": sorted(node.device_id
+                                    for node in self.bt_nodes
+                                    if node.sensor.is_stuck),
+            "degraded_estimates": sum(board.degraded_estimates
+                                      for board in self.boards),
+            "fallback_estimates": sum(board.fallback_estimates
+                                      for board in self.boards),
+            "max_staleness_s": max(
+                (board.max_staleness_s for board in self.boards),
+                default=0.0),
+            "conservative_mode": self.supervisor.conservative_mode,
+            "conservative_entries": self.supervisor.conservative_entries,
+            "conservative_mode_s": self.supervisor.conservative_seconds(
+                self.sim.now),
+        }
 
     def adaptive_transmitters(self):
         """All BT-ADPT state machines (empty in fixed/direct modes)."""

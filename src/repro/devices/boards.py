@@ -24,7 +24,8 @@ contention-aware AC transmission scheduling.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import math
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.control.radiant import RadiantCoolingController, RadiantInputs
 from repro.control.ventilation import (
@@ -74,6 +75,13 @@ class Board:
         self._report_task: Optional[PeriodicTask] = None
         self._report_name = f"{device_id}/report"
         self._started = False
+        # Graceful-degradation bookkeeping (supplier-loss detection).
+        self.supervisor = None
+        self.degraded_estimates = 0
+        self.fallback_estimates = 0
+        self.max_staleness_s = 0.0
+        self._last_good: Dict[Tuple[DataType, Tuple[Any, ...]],
+                              Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -122,6 +130,51 @@ class Board:
         if age is None or age > self.STALE_AFTER_S:
             return None
         return self.mote.bus.latest_value(data_type, key)
+
+    # Supplier-loss fallback ladder.  Tier 2 doubles the acceptance
+    # window; tier 3 decays the last good estimate toward the caller's
+    # conservative default with this time constant, so a board cut off
+    # from all suppliers drifts to safe assumptions instead of acting
+    # forever on a frozen snapshot.
+    WIDENED_STALE_AFTER_S = 240.0
+    FALLBACK_DECAY_TAU_S = 600.0
+
+    def estimate_mean(self, data_type: DataType, keys: List[Any],
+                      default: float) -> float:
+        """Consumer-side average with graceful degradation.
+
+        Tier 1 averages the fresh suppliers (identical to a plain
+        ``mean_of`` while everything reports — the fault-free path is
+        unchanged).  When *no* supplier is fresh the board first widens
+        its acceptance window to :data:`WIDENED_STALE_AFTER_S`, then
+        falls back to its last good estimate decayed exponentially
+        toward ``default``.  The tier-2/3 activations are counted so a
+        campaign can score estimate staleness.
+        """
+        bus = self.mote.bus
+        oldest = bus.oldest_age(data_type, keys)
+        if oldest is not None and oldest > self.max_staleness_s:
+            self.max_staleness_s = oldest
+        now = self.sim.now
+        cache_key = (data_type, tuple(keys))
+        fresh = bus.fresh_values(data_type, keys, self.STALE_AFTER_S)
+        if fresh:
+            value = sum(fresh) / len(fresh)
+            self._last_good[cache_key] = (value, now)
+            return value
+        widened = bus.fresh_values(data_type, keys,
+                                   self.WIDENED_STALE_AFTER_S)
+        if widened:
+            self.degraded_estimates += 1
+            return sum(widened) / len(widened)
+        self.fallback_estimates += 1
+        last = self._last_good.get(cache_key)
+        if last is None:
+            return default
+        value, at = last
+        beyond = max(0.0, now - at - self.WIDENED_STALE_AFTER_S)
+        weight = math.exp(-beyond / self.FALLBACK_DECAY_TAU_S)
+        return default + (value - default) * weight
 
     def room_dew_point(self, subspace: int,
                        default_temp: float = 28.9,
@@ -229,10 +282,30 @@ class ControlC2(Board):
 
     def _room_temp(self) -> float:
         keys = [("room", s) for s in range(4)]
-        value = self.mote.bus.mean_of(DataType.TEMPERATURE, keys)
-        return 28.9 if value is None else value
+        return self.estimate_mean(DataType.TEMPERATURE, keys, 28.9)
+
+    def _humidity_sensing_compromised(self) -> bool:
+        """True when some subspace has lost *all* humidity suppliers.
+
+        Both the ceiling and the room humidity node of one subspace
+        gone silent means the dew point under a panel is flying blind;
+        the supervisor then latches the radiant loop into conservative
+        mode.  Suppliers never heard from don't count — before first
+        contact the conservative startup defaults already apply.
+        """
+        bus = self.mote.bus
+        for s in range(4):
+            ages = (bus.age_of(DataType.HUMIDITY, ("ceiling", s)),
+                    bus.age_of(DataType.HUMIDITY, ("room", s)))
+            if all(age is not None and age > self.STALE_AFTER_S
+                   for age in ages):
+                return True
+        return False
 
     def _control(self, now: float) -> None:
+        if self.supervisor is not None:
+            self.supervisor.note_humidity_sensing(
+                self._humidity_sensing_compromised(), now)
         supply = self.bus_value(DataType.WATER_TEMP, "supply",
                                 DEFAULT_SUPPLY_C)
         room_temp = self._room_temp()

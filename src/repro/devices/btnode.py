@@ -55,6 +55,8 @@ class BtSensorNode:
             self._send, priority=PRIORITY_SENSING,
             jitter=0.2, phase=0.5)
         self.sends = 0
+        self.crashed = False
+        self.crashed_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -64,6 +66,17 @@ class BtSensorNode:
     def stop(self) -> None:
         self._sample_task.stop()
         self._send_task.stop()
+
+    def crash(self) -> None:
+        """Fault injection: flat cells / bricked flash, permanent silence.
+
+        Unlike :meth:`stop` (an orderly shutdown a workload may undo by
+        calling :meth:`start` again), a crash is permanent and leaves a
+        mark the degradation analysis can read back.
+        """
+        self.crashed = True
+        self.crashed_at = self.sim.now
+        self.stop()
 
     @property
     def send_period_s(self) -> float:

@@ -30,7 +30,14 @@ class ColdWaterTank:
         self.deadband_k = deadband_k
         self.ambient_ua_w_per_k = ambient_ua_w_per_k
         self.temp_c = setpoint_c
+        self.initial_temp_c = self.temp_c
         self.heat_returned_j = 0.0
+        # Signed ledgers closing the tank's first-law balance exactly:
+        #   C * (temp - initial) == energy_in + ambient_gain - heat_moved
+        # where heat_moved is the chiller's meter.  `heat_returned_j`
+        # keeps its historical positive-only meaning (chiller load).
+        self.energy_in_j = 0.0
+        self.ambient_gain_j = 0.0
         self._chilling = False
 
     @property
@@ -40,6 +47,19 @@ class ColdWaterTank:
     def draw(self) -> float:
         """Temperature of water drawn from the tank (T_supp)."""
         return self.temp_c
+
+    def energy_balance_residual_j(self) -> float:
+        """First-law residual: stored minus (in + ambient - chilled).
+
+        Exactly zero up to float rounding for any sequence of
+        ``accept_return``/``step`` calls — the conservation invariant
+        the fault-campaign tests assert (a crashed node can starve the
+        control loop, never create or destroy energy in the water).
+        """
+        stored = self.thermal_mass_j_per_k * (self.temp_c
+                                              - self.initial_temp_c)
+        return stored - (self.energy_in_j + self.ambient_gain_j
+                         - self.chiller.heat_moved_j)
 
     def accept_return(self, flow_lps: float, return_temp_c: float,
                       dt: float) -> None:
@@ -56,6 +76,7 @@ class ColdWaterTank:
         mass = flow_lps * 1e-3 * WATER_DENSITY * dt
         heat_j = mass * WATER_CP * (return_temp_c - self.temp_c)
         self.temp_c += heat_j / self.thermal_mass_j_per_k
+        self.energy_in_j += heat_j
         if heat_j > 0:
             self.heat_returned_j += heat_j
 
@@ -66,6 +87,7 @@ class ColdWaterTank:
             raise ValueError("dt must be non-negative")
         gain_w = self.ambient_ua_w_per_k * (ambient_temp_c - self.temp_c)
         self.temp_c += gain_w * dt / self.thermal_mass_j_per_k
+        self.ambient_gain_j += gain_w * dt
 
         # Hysteretic chiller control around the setpoint.
         if self.temp_c > self.setpoint_c + self.deadband_k:

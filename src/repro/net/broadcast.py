@@ -125,3 +125,39 @@ class TypeBus:
         if not values:
             return default
         return sum(values) / len(values)
+
+    # ------------------------------------------------------------------
+    # Staleness bookkeeping (supplier-loss detection)
+    # ------------------------------------------------------------------
+    def fresh_values(self, data_type: DataType, keys: List[Any],
+                     max_age_s: float) -> List[float]:
+        """Cached values for ``keys`` no older than ``max_age_s``.
+
+        The consumer-side view of supplier health: a dead or jammed
+        supplier simply stops appearing here, and the caller's average
+        narrows to the survivors instead of freezing on stale data.
+        """
+        now = self.sim.now
+        values: List[float] = []
+        for key in keys:
+            entry = self._cache.get((data_type, key))
+            if entry is not None and now - entry.received_at <= max_age_s:
+                values.append(entry.value)
+        return values
+
+    def oldest_age(self, data_type: DataType,
+                   keys: List[Any]) -> Optional[float]:
+        """Age of the *stalest* cached entry among ``keys``.
+
+        None until every key has reported at least once — early in a
+        run "never heard from" is indistinguishable from "dead", and
+        callers must not diagnose supplier loss before first contact.
+        """
+        now = self.sim.now
+        ages: List[float] = []
+        for key in keys:
+            entry = self._cache.get((data_type, key))
+            if entry is None:
+                return None
+            ages.append(now - entry.received_at)
+        return max(ages)

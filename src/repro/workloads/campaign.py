@@ -1,0 +1,281 @@
+"""Fault campaigns: a matrix of failure scenarios, scored vs baseline.
+
+The campaign runner executes a base scenario once fault-free, then once
+per *cell* — a named :class:`~repro.workloads.faults.FaultScript`
+variant (single and compound faults, swept over onset time and
+severity).  Every cell is an independent run from the same seed, so the
+only difference between a cell and the baseline is the injected fault;
+the :mod:`repro.analysis.degradation` scoring then quantifies exactly
+what the fault cost.  Runs are deterministic: the same config produces
+the same report dict, bit for bit.
+
+Cells hold faults with onsets *relative to the run start*; the runner
+shifts them onto the simulator's absolute clock when applying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.degradation import (
+    DegradationScore,
+    RunOutcome,
+    compare_outcomes,
+    is_graceful,
+    summarize_run,
+)
+from repro.analysis.fingerprint import discrete_log_hash
+from repro.core.config import BubbleZeroConfig
+from repro.core.system import BubbleZero
+from repro.workloads.faults import (
+    ChannelJam,
+    Fault,
+    FaultScript,
+    NodeCrash,
+    SensorDrift,
+    SensorStuck,
+)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One named fault program; onset times relative to run start."""
+
+    name: str
+    faults: Tuple[Fault, ...]
+
+    def describe(self) -> str:
+        parts = []
+        for fault in self.faults:
+            if isinstance(fault, SensorStuck):
+                parts.append(f"stuck {fault.device_id}@{fault.value:g}")
+            elif isinstance(fault, SensorDrift):
+                parts.append(f"drift {fault.device_id}"
+                             f"{fault.offset:+g}")
+            elif isinstance(fault, NodeCrash):
+                parts.append(f"crash {fault.device_id}")
+            elif isinstance(fault, ChannelJam):
+                parts.append(f"jam {fault.duty:.0%} "
+                             f"{fault.start:g}-{fault.end:g}s")
+        return "; ".join(parts)
+
+    def is_single_crash(self) -> bool:
+        return (len(self.faults) == 1
+                and isinstance(self.faults[0], NodeCrash))
+
+
+@dataclass
+class CampaignConfig:
+    """What to run: the base scenario and the fault matrix."""
+
+    cells: List[CampaignCell]
+    seed: int = 7
+    run_minutes: float = 45.0
+    # Scoring starts after the shared cold-start transient (the paper's
+    # system needs ~30 min to approach the target condition); otherwise
+    # the transient's violation minutes drown the fault's actual cost.
+    warmup_minutes: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.run_minutes <= 0:
+            raise ValueError("campaign runs must have positive length")
+        if not 0 <= self.warmup_minutes < self.run_minutes:
+            raise ValueError("warmup must fit inside the run")
+        names = [cell.name for cell in self.cells]
+        if len(set(names)) != len(names):
+            raise ValueError("campaign cell names must be unique")
+
+
+@dataclass
+class CellResult:
+    cell: CampaignCell
+    outcome: RunOutcome
+    score: DegradationScore
+    discrete_hash: str
+    graceful: Optional[bool] = None
+
+
+@dataclass
+class CampaignResult:
+    seed: int
+    run_minutes: float
+    warmup_minutes: float
+    baseline: RunOutcome
+    baseline_hash: str
+    cells: List[CellResult] = field(default_factory=list)
+
+    def report_dict(self) -> Dict[str, object]:
+        """Deterministic, JSON-serialisable campaign report."""
+        return {
+            "seed": self.seed,
+            "run_minutes": self.run_minutes,
+            "warmup_minutes": self.warmup_minutes,
+            "baseline": _outcome_dict(self.baseline),
+            "baseline_hash": self.baseline_hash,
+            "cells": [
+                {
+                    "name": result.cell.name,
+                    "faults": result.cell.describe(),
+                    "outcome": _outcome_dict(result.outcome),
+                    "score": vars(result.score).copy(),
+                    "discrete_hash": result.discrete_hash,
+                    "graceful": result.graceful,
+                }
+                for result in self.cells
+            ],
+        }
+
+
+def _outcome_dict(outcome: RunOutcome) -> Dict[str, object]:
+    data = vars(outcome).copy()
+    data["comfort_violation_min"] = {
+        str(key): value
+        for key, value in outcome.comfort_violation_min.items()}
+    data["dew_margin_violation_min"] = {
+        str(key): value
+        for key, value in outcome.dew_margin_violation_min.items()}
+    return data
+
+
+# ----------------------------------------------------------------------
+# Matrix builders
+# ----------------------------------------------------------------------
+def quick_matrix(onset_s: float = 1800.0,
+                 clear_s: float = 2100.0) -> List[CampaignCell]:
+    """The fast ≥8-cell matrix behind ``repro campaign --quick``.
+
+    Covers every fault class, both severities of the jam, and two
+    compound programs — including the humidity blackout that must latch
+    the supervisor's conservative mode.
+    """
+    return [
+        CampaignCell("stuck-high", (
+            SensorStuck(onset_s, "bt-room-temp-0", 35.0, until=clear_s),)),
+        CampaignCell("stuck-low", (
+            SensorStuck(onset_s, "bt-room-temp-1", 15.0, until=clear_s),)),
+        CampaignCell("drift-humidity", (
+            SensorDrift(onset_s, "bt-room-hum-0", 20.0, until=clear_s),)),
+        CampaignCell("drift-temp", (
+            SensorDrift(onset_s, "bt-room-temp-2", 3.0, until=clear_s),)),
+        CampaignCell("crash-room-temp", (
+            NodeCrash(onset_s, "bt-room-temp-3"),)),
+        CampaignCell("crash-ceil-hum", (
+            NodeCrash(onset_s, "bt-ceil-hum-0"),)),
+        CampaignCell("jam-light", (
+            ChannelJam(onset_s, onset_s + 300.0, duty=0.3),)),
+        CampaignCell("jam-heavy", (
+            ChannelJam(onset_s, onset_s + 300.0, duty=0.9),)),
+        CampaignCell("compound-crash-jam", (
+            NodeCrash(onset_s, "bt-room-hum-2"),
+            ChannelJam(clear_s, clear_s + 180.0, duty=0.9))),
+        CampaignCell("compound-hum-blackout", (
+            NodeCrash(onset_s, "bt-ceil-hum-1"),
+            NodeCrash(onset_s, "bt-room-hum-1"))),
+    ]
+
+
+def full_matrix(onsets_s: Tuple[float, ...] = (1800.0, 2400.0),
+                stuck_values: Tuple[float, ...] = (15.0, 35.0),
+                drift_offsets: Tuple[float, ...] = (3.0, 10.0),
+                jam_duties: Tuple[float, ...] = (0.3, 0.9),
+                fault_duration_s: float = 600.0) -> List[CampaignCell]:
+    """Severity x onset sweep of every fault class, plus compounds."""
+    cells: List[CampaignCell] = []
+    for onset in onsets_s:
+        clear = onset + fault_duration_s
+        for value in stuck_values:
+            cells.append(CampaignCell(
+                f"stuck-{value:g}@{onset:g}s", (
+                    SensorStuck(onset, "bt-room-temp-0", value,
+                                until=clear),)))
+        for offset in drift_offsets:
+            cells.append(CampaignCell(
+                f"drift-{offset:+g}@{onset:g}s", (
+                    SensorDrift(onset, "bt-room-hum-0", offset,
+                                until=clear),)))
+        for device in ("bt-room-temp-3", "bt-ceil-hum-0"):
+            cells.append(CampaignCell(
+                f"crash-{device}@{onset:g}s", (NodeCrash(onset, device),)))
+        for duty in jam_duties:
+            cells.append(CampaignCell(
+                f"jam-{duty:.0%}@{onset:g}s", (
+                    ChannelJam(onset, clear, duty=duty),)))
+        cells.append(CampaignCell(
+            f"compound-blackout@{onset:g}s", (
+                NodeCrash(onset, "bt-ceil-hum-1"),
+                NodeCrash(onset, "bt-room-hum-1"))))
+        cells.append(CampaignCell(
+            f"compound-stuck-jam@{onset:g}s", (
+                SensorStuck(onset, "bt-room-temp-0", 35.0, until=clear),
+                ChannelJam(onset, onset + 300.0, duty=0.9))))
+    return cells
+
+
+def quick_campaign_config(seed: int = 7) -> CampaignConfig:
+    return CampaignConfig(cells=quick_matrix(), seed=seed,
+                          run_minutes=45.0)
+
+
+def full_campaign_config(seed: int = 7) -> CampaignConfig:
+    return CampaignConfig(cells=full_matrix(), seed=seed,
+                          run_minutes=60.0)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def _shift(fault: Fault, t0: float) -> Fault:
+    """Rebase a cell-relative fault onto the simulator's clock."""
+    if isinstance(fault, (SensorStuck, SensorDrift)):
+        until = None if fault.until is None else fault.until + t0
+        return replace(fault, time=fault.time + t0, until=until)
+    if isinstance(fault, NodeCrash):
+        return replace(fault, time=fault.time + t0)
+    if isinstance(fault, ChannelJam):
+        return replace(fault, start=fault.start + t0, end=fault.end + t0)
+    raise TypeError(f"unknown fault: {fault!r}")  # pragma: no cover
+
+
+def _run_one(config: CampaignConfig, label: str,
+             cell: Optional[CampaignCell]) -> Tuple[RunOutcome, str]:
+    system = BubbleZero(BubbleZeroConfig(seed=config.seed))
+    clearance: Optional[float] = None
+    if cell is not None:
+        t0 = system.sim.now
+        script = FaultScript([_shift(f, t0) for f in cell.faults])
+        script.apply_to(system)
+        clearance = script.clearance_time()
+    system.start()
+    system.run(minutes=config.run_minutes)
+    system.finalize()
+    outcome = summarize_run(system, label, clearance_time=clearance,
+                            warmup_s=config.warmup_minutes * 60.0)
+    return outcome, discrete_log_hash(system)
+
+
+def run_campaign(config: CampaignConfig,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> CampaignResult:
+    """Run baseline plus every cell; score each against the baseline."""
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    note(f"baseline ({config.run_minutes:g} min, seed {config.seed})")
+    baseline, baseline_hash = _run_one(config, "baseline", None)
+    result = CampaignResult(seed=config.seed,
+                            run_minutes=config.run_minutes,
+                            warmup_minutes=config.warmup_minutes,
+                            baseline=baseline,
+                            baseline_hash=baseline_hash)
+    for cell in config.cells:
+        note(f"cell {cell.name}: {cell.describe()}")
+        outcome, cell_hash = _run_one(config, cell.name, cell)
+        score = compare_outcomes(baseline, outcome)
+        result.cells.append(CellResult(
+            cell=cell, outcome=outcome, score=score,
+            discrete_hash=cell_hash,
+            graceful=(is_graceful(score) if cell.is_single_crash()
+                      else None)))
+    return result

@@ -6,7 +6,7 @@ fail.  This module scripts the classic failure modes against a running
 :class:`~repro.core.system.BubbleZero`:
 
 * **SensorStuck / SensorDrift** — a sensor reports a frozen or biased
-  value from some instant on;
+  value from some instant on (optionally until a repair clears it);
 * **NodeCrash** — a battery node dies (flat cells, bricked flash) and
   stops sampling and transmitting;
 * **ChannelJam** — a foreign 2.4 GHz interferer occupies the channel at
@@ -15,33 +15,66 @@ fail.  This module scripts the classic failure modes against a running
 Robustness comes from the architecture the paper chose: type-addressed
 broadcast with consumer-side averaging means losing one supplier
 degrades an estimate instead of severing a point-to-point link.
+
+Scripts are validated *atomically* before anything is scheduled: a
+fault addressed to an unknown ``device_id`` (or a jam against a system
+without a radio) raises before the first event is queued, so a typo
+can never leave a half-applied scenario silently running.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.net.packet import DataType, Packet
 from repro.sim.engine import PRIORITY_NETWORK
 
 
+class UnknownDeviceError(LookupError):
+    """A fault script addressed a device the system does not have."""
+
+    def __init__(self, unknown: Sequence[str],
+                 available: Sequence[str]) -> None:
+        self.unknown = tuple(sorted(set(unknown)))
+        self.available = tuple(sorted(available))
+        super().__init__(
+            f"fault script addresses unknown device(s) "
+            f"{', '.join(repr(d) for d in self.unknown)}; "
+            f"known bt-devices: {', '.join(self.available) or '(none)'}")
+
+
 @dataclass(frozen=True)
 class SensorStuck:
-    """From ``time``, device ``device_id``'s sensor reads ``value``."""
+    """From ``time``, device ``device_id``'s sensor reads ``value``.
+
+    A non-None ``until`` schedules a repair visit: the sensor recovers
+    at that instant (the hook time-to-recover scoring keys on).
+    """
 
     time: float
     device_id: str
     value: float
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_clearance(self.time, self.until)
 
 
 @dataclass(frozen=True)
 class SensorDrift:
-    """From ``time``, the sensor gains a calibration error ``offset``."""
+    """From ``time``, the sensor gains a calibration error ``offset``.
+
+    A non-None ``until`` clears the drift at that instant.
+    """
 
     time: float
     device_id: str
     offset: float
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_clearance(self.time, self.until)
 
 
 @dataclass(frozen=True)
@@ -71,6 +104,11 @@ class ChannelJam:
             raise ValueError("duty must be in (0, 1]")
 
 
+def _check_clearance(time: float, until: Optional[float]) -> None:
+    if until is not None and until <= time:
+        raise ValueError("fault clearance must come after its onset")
+
+
 Fault = Union[SensorStuck, SensorDrift, NodeCrash, ChannelJam]
 
 
@@ -84,8 +122,40 @@ class FaultScript:
         self.faults.append(fault)
         return self
 
+    def clearance_time(self) -> Optional[float]:
+        """Instant the last self-clearing fault ends, or None.
+
+        Crashes never clear; a script of only permanent faults has no
+        clearance time and recovery scoring is undefined for it.
+        """
+        ends = [f.until for f in self.faults
+                if isinstance(f, (SensorStuck, SensorDrift))
+                and f.until is not None]
+        ends += [f.end for f in self.faults if isinstance(f, ChannelJam)]
+        return max(ends) if ends else None
+
+    def validate_against(self, system) -> None:
+        """Raise unless *every* fault is schedulable on ``system``.
+
+        Collects all unknown device ids into one
+        :class:`UnknownDeviceError` so a typo surfaces before a single
+        event is queued — ``apply_to`` must be atomic, never leaving a
+        partially-applied script behind.
+        """
+        available = [node.device_id for node in system.bt_nodes]
+        known = set(available)
+        unknown = [f.device_id for f in self.faults
+                   if isinstance(f, (SensorStuck, SensorDrift, NodeCrash))
+                   and f.device_id not in known]
+        if unknown:
+            raise UnknownDeviceError(unknown, available)
+        if (any(isinstance(f, ChannelJam) for f in self.faults)
+                and system.medium is None):
+            raise RuntimeError("cannot jam a system running in direct mode")
+
     def apply_to(self, system) -> None:
         """Schedule every fault against a built (unstarted ok) system."""
+        self.validate_against(system)
         for fault in self.faults:
             if isinstance(fault, SensorStuck):
                 node = _find_node(system, fault.device_id)
@@ -93,16 +163,18 @@ class FaultScript:
                     fault.time,
                     lambda n=node, f=fault: n.sensor.fail_stuck(f.value),
                     name=f"fault-stuck/{fault.device_id}")
+                _schedule_recovery(system, node, fault.until)
             elif isinstance(fault, SensorDrift):
                 node = _find_node(system, fault.device_id)
                 system.sim.schedule_at(
                     fault.time,
                     lambda n=node, f=fault: n.sensor.fail_drift(f.offset),
                     name=f"fault-drift/{fault.device_id}")
+                _schedule_recovery(system, node, fault.until)
             elif isinstance(fault, NodeCrash):
                 node = _find_node(system, fault.device_id)
                 system.sim.schedule_at(
-                    fault.time, node.stop,
+                    fault.time, node.crash,
                     name=f"fault-crash/{fault.device_id}")
             elif isinstance(fault, ChannelJam):
                 _schedule_jam(system, fault)
@@ -115,6 +187,13 @@ def _find_node(system, device_id: str):
         if node.device_id == device_id:
             return node
     raise LookupError(f"no bt-device called {device_id!r}")
+
+
+def _schedule_recovery(system, node, until: Optional[float]) -> None:
+    if until is None:
+        return
+    system.sim.schedule_at(until, node.sensor.recover,
+                           name=f"fault-clear/{node.device_id}")
 
 
 JAM_BURST_PAYLOAD = 100  # near-maximal frames: ~3.7 ms of airtime each

@@ -1,8 +1,22 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
 
 from repro.sim.engine import Simulator
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
+else:
+    # "ci" is fully derandomized so property failures reproduce across
+    # runs; select it with HYPOTHESIS_PROFILE=ci (the CI workflow does).
+    settings.register_profile("ci", derandomize=True, max_examples=50,
+                              deadline=None)
+    settings.register_profile("dev", max_examples=100, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

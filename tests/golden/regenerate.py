@@ -1,0 +1,37 @@
+"""Regenerate the golden trajectory fingerprints.
+
+Run from the repository root after an *intentional* behaviour change:
+
+    PYTHONPATH=src:. python tests/golden/regenerate.py
+
+then review the diff in the accompanying test run and commit the new
+NPZ files together with the change that motivated them.  Never
+regenerate to silence a failure you cannot explain.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro.analysis.fingerprint import (  # noqa: E402
+    save_fingerprint,
+    trajectory_fingerprint,
+)
+from tests.golden_trials import GOLDEN_DIR, TRIALS  # noqa: E402
+
+
+def main() -> int:
+    for name, build in TRIALS.items():
+        print(f"running {name} (reference physics)...", flush=True)
+        system = build(macro=False)
+        fingerprint = trajectory_fingerprint(system)
+        path = GOLDEN_DIR / f"{name}.npz"
+        save_fingerprint(path, fingerprint)
+        print(f"  wrote {path} (hash {fingerprint['discrete_hash'][:16]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

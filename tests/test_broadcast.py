@@ -108,3 +108,51 @@ class TestMultipleConsumers:
         assert all(b.latest_value(DataType.HUMIDITY, 0) == 65.0
                    for b in buses)
         assert medium.total_transmissions == 1
+
+
+class TestStalenessBookkeeping:
+    """The supplier-loss detection primitives behind graceful
+    degradation: stale entries drop out of fresh_values, oldest_age
+    reports the weakest link but only after first contact."""
+
+    def test_fresh_values_excludes_stale_entries(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.TEMPERATURE)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 24.0, key=0), "a")
+        sim.run(1.0)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 26.0, key=1), "b")
+        sim.run(200.0)
+        # key 0 is ~201 s old, key 1 ~200 s: a 120 s window sees neither,
+        # a 300 s window sees both.
+        assert bus.fresh_values(DataType.TEMPERATURE, [0, 1], 120.0) == []
+        assert sorted(bus.fresh_values(
+            DataType.TEMPERATURE, [0, 1], 300.0)) == [24.0, 26.0]
+
+    def test_fresh_values_narrow_to_survivors(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.TEMPERATURE)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 24.0, key=0), "a")
+        sim.run(150.0)
+        medium.transmit(make_packet(DataType.TEMPERATURE, 26.0, key=1), "b")
+        sim.run(1.0)
+        assert bus.fresh_values(DataType.TEMPERATURE, [0, 1],
+                                120.0) == [26.0]
+
+    def test_oldest_age_none_before_first_contact(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.HUMIDITY)
+        medium.transmit(make_packet(DataType.HUMIDITY, 60.0, key=0), "a")
+        sim.run(50.0)
+        # key 1 has never reported: "never heard from" must not be
+        # diagnosed as supplier loss.
+        assert bus.oldest_age(DataType.HUMIDITY, [0, 1]) is None
+
+    def test_oldest_age_reports_stalest(self, sim, wired):
+        medium, bus = wired
+        bus.subscribe(DataType.HUMIDITY)
+        medium.transmit(make_packet(DataType.HUMIDITY, 60.0, key=0), "a")
+        sim.run(30.0)
+        medium.transmit(make_packet(DataType.HUMIDITY, 61.0, key=1), "b")
+        sim.run(10.0)
+        age = bus.oldest_age(DataType.HUMIDITY, [0, 1])
+        assert age == pytest.approx(40.0, abs=1.0)

@@ -123,6 +123,81 @@ class TestInterfaceBalances:
         assert result.temp_c * result.flow_lps == pytest.approx(inflow)
 
 
+class TestConservationUnderFaults:
+    """Injected faults corrupt *readings*, never physics: every balance
+    that holds fault-free must keep holding while sensors lie, nodes
+    die, and the channel jams."""
+
+    @staticmethod
+    def _faulted_system(seed=11):
+        from repro.core.config import BubbleZeroConfig
+        from repro.core.system import BubbleZero
+        from repro.workloads.faults import (
+            ChannelJam,
+            FaultScript,
+            NodeCrash,
+            SensorStuck,
+        )
+        system = BubbleZero(BubbleZeroConfig(seed=seed))
+        start = system.sim.now
+        FaultScript([
+            SensorStuck(start + 300.0, "bt-room-temp-0", 35.0),
+            NodeCrash(start + 600.0, "bt-ceil-hum-1"),
+            ChannelJam(start + 900.0, start + 1200.0, duty=0.9),
+        ]).apply_to(system)
+        return system
+
+    def test_tank_energy_ledger_closes(self):
+        """First law on each storage tank: heat in from the loops plus
+        ambient gain minus heat moved by the chiller equals the change
+        in stored energy — also with faults active."""
+        system = self._faulted_system()
+        system.run(minutes=30)
+        for tank in (system.plant.radiant_tank, system.plant.vent_tank):
+            scale = max(1.0, abs(tank.energy_in_j),
+                        abs(tank.chiller.heat_moved_j))
+            assert abs(tank.energy_balance_residual_j()) < 1e-6 * scale
+
+    def test_meters_monotone_through_jam(self):
+        """Cumulative heat/power meters never step backwards, including
+        across the jam window."""
+        system = self._faulted_system()
+        previous = None
+        for _ in range(8):
+            system.run(minutes=5)
+            snap = system.plant.meter_snapshot()
+            if previous is not None:
+                for key, value in snap.items():
+                    assert value >= previous[key] - 1e-9, key
+            previous = snap
+
+    def test_room_state_stays_physical(self):
+        """Moisture and CO2 remain inside physically meaningful bounds
+        for the whole faulted run (lying sensors must not push the
+        plant model outside its domain)."""
+        system = self._faulted_system()
+        for _ in range(12):
+            system.run(minutes=5)
+            for i in range(4):
+                state = system.plant.room.state_of(i)
+                assert 0.0 < state.humidity_ratio < 0.05
+                assert state.dew_point_c <= state.temp_c + 1e-9
+            assert 300.0 < system.plant.room.mean_co2_ppm() < 5000.0
+
+    def test_crashed_supplier_does_not_leak_heat(self):
+        """A sealed room with zero inputs stays frozen even while the
+        (disconnected) sensing layer degrades — physics is independent
+        of the health of its observers."""
+        room = Room(params=sealed_params(), initial_temp_c=24.0,
+                    initial_dew_c=16.0, initial_co2_ppm=600.0)
+        w0 = room.mean_humidity_ratio()
+        for _ in range(1800):
+            room.step(1.0, OUTDOOR, IDLE)
+        assert room.mean_temp_c() == pytest.approx(24.0, abs=1e-9)
+        assert room.mean_humidity_ratio() == pytest.approx(w0, rel=1e-12)
+        assert room.mean_co2_ppm() == pytest.approx(600.0, abs=1e-9)
+
+
 class TestMonotonicity:
     @settings(max_examples=20, deadline=None)
     @given(heat1=st.floats(0.0, 400.0), heat2=st.floats(0.0, 400.0))

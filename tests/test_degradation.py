@@ -1,0 +1,216 @@
+"""Tests for degradation scoring and the graceful-degradation hooks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.degradation import (
+    DegradationScore,
+    GRACEFUL_BOUND_MINUTES,
+    RunOutcome,
+    _violation_minutes,
+    compare_outcomes,
+    is_graceful,
+    summarize_run,
+)
+from repro.core.config import BubbleZeroConfig
+from repro.core.system import BubbleZero
+from repro.workloads.faults import FaultScript, NodeCrash
+
+
+def make_score(**overrides):
+    defaults = dict(label="cell", excess_comfort_min=0.0,
+                    excess_dew_violation_min=0.0, excess_condensation=0,
+                    excess_energy_j=0.0, excess_exergy_j=0.0,
+                    max_staleness_s=0.0, degraded_estimates=0,
+                    fallback_estimates=0, conservative_entries=0,
+                    recovery_s=None)
+    defaults.update(overrides)
+    return DegradationScore(**defaults)
+
+
+class TestViolationMinutes:
+    def test_empty_series(self):
+        assert _violation_minutes(np.array([]), np.array([]),
+                                  0.0, 1.0) == 0.0
+
+    def test_fully_inside_band(self):
+        times = np.arange(0.0, 600.0, 10.0)
+        values = np.full_like(times, 0.5)
+        assert _violation_minutes(times, values, 0.0, 1.0) == 0.0
+
+    def test_zero_order_hold_accounting(self):
+        # 10 s sampling; 3 samples outside the band hold 10 s each.
+        times = np.arange(0.0, 100.0, 10.0)
+        values = np.zeros_like(times)
+        values[2:5] = 5.0
+        assert _violation_minutes(times, values, -1.0,
+                                  1.0) == pytest.approx(0.5)
+
+    def test_trailing_excursion_counts(self):
+        times = np.arange(0.0, 100.0, 10.0)
+        values = np.zeros_like(times)
+        values[-1] = 5.0
+        # The last sample holds for the median record period.
+        assert _violation_minutes(times, values, -1.0,
+                                  1.0) == pytest.approx(10.0 / 60.0)
+
+
+class TestScoring:
+    def test_compare_outcomes_is_faulted_minus_baseline(self):
+        baseline = RunOutcome(label="base", elapsed_s=100.0,
+                              preferred_temp_c=25.0)
+        baseline.total_comfort_violation_min = 2.0
+        baseline.condensation_events = 1
+        baseline.power_consumed_j = 1000.0
+        faulted = RunOutcome(label="cell", elapsed_s=100.0,
+                             preferred_temp_c=25.0)
+        faulted.total_comfort_violation_min = 5.0
+        faulted.condensation_events = 3
+        faulted.power_consumed_j = 1600.0
+        faulted.degradation = {"max_staleness_s": 42.0,
+                               "fallback_estimates": 7}
+        score = compare_outcomes(baseline, faulted)
+        assert score.excess_comfort_min == pytest.approx(3.0)
+        assert score.excess_condensation == 2
+        assert score.excess_energy_j == pytest.approx(600.0)
+        assert score.max_staleness_s == 42.0
+        assert score.fallback_estimates == 7
+
+    def test_graceful_predicate(self):
+        assert is_graceful(make_score())
+        assert is_graceful(make_score(
+            excess_comfort_min=GRACEFUL_BOUND_MINUTES))
+        assert not is_graceful(make_score(
+            excess_comfort_min=GRACEFUL_BOUND_MINUTES + 0.1))
+        assert not is_graceful(make_score(excess_condensation=1))
+
+
+class TestEstimateFallbackLadder:
+    """The three-tier estimate on the control boards: fresh mean ->
+    widened window -> last-good decayed toward a conservative default."""
+
+    def _board(self):
+        from repro.devices.boards import ControlC2
+        system = BubbleZero(BubbleZeroConfig(seed=9))
+        system.run(minutes=10)
+        board = next(b for b in system.boards
+                     if isinstance(b, ControlC2))
+        return system, board
+
+    def test_healthy_run_uses_fresh_tier(self):
+        system, board = self._board()
+        assert board.fallback_estimates == 0
+
+    def test_fallback_decays_toward_default(self):
+        import types
+        system, board = self._board()
+        from repro.net.packet import DataType
+        keys = [("room", s) for s in range(4)]
+        default = 28.9
+        live = board.estimate_mean(DataType.TEMPERATURE, keys, default)
+        # Starve the board: report every entry as ancient.
+        board.mote.bus.fresh_values = types.MethodType(
+            lambda self, *a, **k: [], board.mote.bus)
+        starved = board.estimate_mean(DataType.TEMPERATURE, keys, default)
+        assert board.fallback_estimates == 1
+        # Immediately after starvation the decayed value equals the
+        # last good mean; as now - at grows it approaches the default.
+        assert starved == pytest.approx(live, abs=1e-6)
+        cache_key = (DataType.TEMPERATURE, tuple(keys))
+        value, at = board._last_good[cache_key]
+        board._last_good[cache_key] = (value, at - 10 * 3600.0)
+        decayed = board.estimate_mean(DataType.TEMPERATURE, keys, default)
+        assert decayed == pytest.approx(default, abs=0.05)
+
+    def test_never_heard_anything_returns_default(self):
+        from repro.devices.boards import ControlC2
+        system = BubbleZero(BubbleZeroConfig(seed=9))
+        board = next(b for b in system.boards
+                     if isinstance(b, ControlC2))
+        from repro.net.packet import DataType
+        value = board.estimate_mean(DataType.TEMPERATURE,
+                                    [("room", 0)], 28.9)
+        assert value == 28.9
+        assert board.fallback_estimates == 1
+
+
+class TestDegradationStatus:
+    def test_clean_run_reports_nothing_abnormal(self):
+        system = BubbleZero(BubbleZeroConfig(seed=9))
+        system.run(minutes=5)
+        status = system.degradation_status()
+        assert status["crashed_nodes"] == []
+        assert status["conservative_mode"] is False
+        assert status["conservative_entries"] == 0
+
+    def test_crash_shows_up_in_status_and_staleness(self):
+        system = BubbleZero(BubbleZeroConfig(seed=9))
+        start = system.sim.now
+        FaultScript([NodeCrash(start + 120.0, "bt-room-temp-0")
+                     ]).apply_to(system)
+        system.run(minutes=30)
+        status = system.degradation_status()
+        assert status["crashed_nodes"] == ["bt-room-temp-0"]
+        # The dead supplier's cache entry keeps ageing.
+        assert status["max_staleness_s"] > 300.0
+
+    def test_direct_mode_has_no_boards_but_status_works(self):
+        from repro.core.config import NetworkConfig
+        system = BubbleZero(BubbleZeroConfig(
+            seed=9, network=NetworkConfig(enabled=False)))
+        system.run(minutes=2)
+        status = system.degradation_status()
+        assert status["max_staleness_s"] == 0.0
+        assert status["fallback_estimates"] == 0
+
+
+class TestConservativeMode:
+    def test_humidity_blackout_latches_conservative_mode(self):
+        system = BubbleZero(BubbleZeroConfig(seed=9))
+        start = system.sim.now
+        FaultScript([
+            NodeCrash(start + 300.0, "bt-ceil-hum-0"),
+            NodeCrash(start + 300.0, "bt-room-hum-0"),
+            NodeCrash(start + 300.0, "bt-ceil-hum-1"),
+            NodeCrash(start + 300.0, "bt-room-hum-1"),
+            NodeCrash(start + 300.0, "bt-ceil-hum-2"),
+            NodeCrash(start + 300.0, "bt-room-hum-2"),
+            NodeCrash(start + 300.0, "bt-ceil-hum-3"),
+            NodeCrash(start + 300.0, "bt-room-hum-3"),
+        ]).apply_to(system)
+        system.run(minutes=20)
+        status = system.degradation_status()
+        assert status["conservative_entries"] >= 1
+        assert status["conservative_mode"] is True
+        assert status["conservative_mode_s"] > 0.0
+        from repro.control.supervisor import CONSERVATIVE_EXTRA_MARGIN_K
+        assert all(c.conservative_extra_margin_k
+                   == CONSERVATIVE_EXTRA_MARGIN_K
+                   for c in system.supervisor.radiant_controllers)
+        # No condensation even while flying humidity-blind.
+        assert system.plant.room.condensation_events == 0
+
+    def test_latch_releases_after_healthy_hold(self):
+        from repro.control.supervisor import CONSERVATIVE_HOLD_S
+        system = BubbleZero(BubbleZeroConfig(seed=9))
+        supervisor = system.supervisor
+        now = system.sim.now
+        supervisor.note_humidity_sensing(True, now)
+        assert supervisor.conservative_mode
+        supervisor.note_humidity_sensing(False, now + 10.0)
+        assert supervisor.conservative_mode  # still inside the hold
+        supervisor.note_humidity_sensing(
+            False, now + 10.0 + CONSERVATIVE_HOLD_S)
+        assert not supervisor.conservative_mode
+        assert supervisor.conservative_mode_s > 0.0
+
+
+class TestSummarizeRunWarmup:
+    def test_warmup_excludes_coldstart_violation(self):
+        system = BubbleZero(BubbleZeroConfig(seed=9))
+        system.run(minutes=10)
+        system.finalize()
+        with_transient = summarize_run(system, "all")
+        without = summarize_run(system, "scored", warmup_s=540.0)
+        assert (without.total_comfort_violation_min
+                < with_transient.total_comfort_violation_min)

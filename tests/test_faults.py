@@ -10,6 +10,7 @@ from repro.workloads.faults import (
     NodeCrash,
     SensorDrift,
     SensorStuck,
+    UnknownDeviceError,
 )
 
 
@@ -30,6 +31,56 @@ class TestFaultValidation:
                                         device_id="bt-ghost")])
         with pytest.raises(LookupError):
             script.apply_to(system)
+
+    def test_unknown_devices_collected_into_one_error(self):
+        """Validation names *every* bad id, not just the first, and
+        the error carries the available ids for diagnosis."""
+        system = BubbleZero(BubbleZeroConfig(seed=1))
+        start = system.sim.now
+        script = FaultScript([
+            NodeCrash(start + 1.0, "bt-ghost"),
+            SensorStuck(start + 2.0, "bt-room-temp-0", 30.0),
+            SensorDrift(start + 3.0, "bt-phantom", 1.0),
+        ])
+        with pytest.raises(UnknownDeviceError) as err:
+            script.apply_to(system)
+        assert err.value.unknown == ("bt-ghost", "bt-phantom")
+        assert "bt-room-temp-0" in err.value.available
+        assert "bt-ghost" in str(err.value)
+        assert "bt-phantom" in str(err.value)
+
+    def test_failed_apply_is_atomic(self):
+        """A script that fails validation schedules nothing: the valid
+        faults in it must not be half-applied."""
+        system = BubbleZero(BubbleZeroConfig(seed=1))
+        start = system.sim.now
+        before = len(system.sim.queue)
+        script = FaultScript([
+            SensorStuck(start + 10.0, "bt-room-temp-0", 30.0),
+            NodeCrash(start + 20.0, "bt-ghost"),
+        ])
+        with pytest.raises(UnknownDeviceError):
+            script.apply_to(system)
+        assert len(system.sim.queue) == before
+        system.run(minutes=1)
+        node = next(n for n in system.bt_nodes
+                    if n.device_id == "bt-room-temp-0")
+        assert not node.sensor.is_stuck
+
+    def test_jam_without_network_rejected_at_validate(self):
+        from repro.core.config import NetworkConfig
+        system = BubbleZero(BubbleZeroConfig(
+            seed=1, network=NetworkConfig(enabled=False)))
+        script = FaultScript([ChannelJam(system.sim.now + 1.0,
+                                         system.sim.now + 2.0)])
+        with pytest.raises(RuntimeError):
+            script.validate_against(system)
+
+    def test_until_must_follow_onset(self):
+        with pytest.raises(ValueError):
+            SensorStuck(100.0, "bt-room-temp-0", 30.0, until=100.0)
+        with pytest.raises(ValueError):
+            SensorDrift(100.0, "bt-room-temp-0", 1.0, until=50.0)
 
 
 class TestSensorFaults:
@@ -109,6 +160,56 @@ class TestChannelJam:
             FaultScript([ChannelJam(system.sim.now + 1.0,
                                     system.sim.now + 2.0)]).apply_to(system)
 
+class TestSelfClearingFaults:
+    def test_stuck_until_recovers(self):
+        system = BubbleZero(BubbleZeroConfig(seed=2))
+        node = system.bt_nodes[0]
+        start = system.sim.now
+        FaultScript([SensorStuck(start + 30.0, node.device_id, 42.0,
+                                 until=start + 120.0)]).apply_to(system)
+        system.run(minutes=1)
+        assert node.sensor.is_stuck
+        system.run(minutes=2)
+        assert not node.sensor.is_stuck
+        assert node.latest_sample != 42.0
+
+    def test_drift_until_recovers(self):
+        system = BubbleZero(BubbleZeroConfig(seed=2))
+        node = system.bt_nodes[0]
+        start = system.sim.now
+        FaultScript([SensorDrift(start + 10.0, node.device_id, 8.0,
+                                 until=start + 60.0)]).apply_to(system)
+        system.run(minutes=3)
+        truth = system.plant.room.state_of(0).temp_c
+        assert node.latest_sample == pytest.approx(truth, abs=0.5)
+
+    def test_clearance_time_is_latest_clear(self):
+        script = FaultScript([
+            SensorStuck(10.0, "a", 1.0, until=100.0),
+            ChannelJam(20.0, 250.0, duty=0.5),
+            SensorDrift(30.0, "b", 1.0, until=180.0),
+        ])
+        assert script.clearance_time() == 250.0
+
+    def test_clearance_time_none_for_permanent_faults(self):
+        script = FaultScript([NodeCrash(10.0, "a"),
+                              SensorStuck(20.0, "b", 1.0)])
+        assert script.clearance_time() is None
+
+    def test_crash_is_recorded_on_the_node(self):
+        system = BubbleZero(BubbleZeroConfig(seed=3))
+        node = system.bt_nodes[0]
+        start = system.sim.now
+        FaultScript([NodeCrash(start + 60.0, node.device_id)
+                     ]).apply_to(system)
+        system.run(minutes=2)
+        assert node.crashed
+        assert node.crashed_at == pytest.approx(start + 60.0)
+        status = system.degradation_status()
+        assert node.device_id in status["crashed_nodes"]
+
+
+class TestChannelJamRecovery:
     def test_control_recovers_after_jam(self):
         """A 2-minute 90% jam delays but does not break the control."""
         system = BubbleZero(BubbleZeroConfig(seed=6))

@@ -1,0 +1,46 @@
+"""Golden-trajectory regression tests.
+
+Replays the §V-A and §V-C style reference trials and compares compact
+fingerprints (downsampled series + discrete-event-log hash) against the
+committed NPZ files under tests/golden/.  Both physics paths are
+checked: these trials run in network mode, where macro-stepped physics
+never engages, so macro=True and macro=False must match the same golden
+exactly.
+
+On an intentional behaviour change, regenerate with:
+
+    PYTHONPATH=src:. python tests/golden/regenerate.py
+
+(see tests/golden/README.md).
+"""
+
+import pytest
+
+from repro.analysis.fingerprint import (
+    compare_fingerprints,
+    load_fingerprint,
+    trajectory_fingerprint,
+)
+
+from .golden_trials import GOLDEN_DIR, TRIALS
+
+
+@pytest.mark.parametrize("macro", [True, False],
+                         ids=["macro", "reference"])
+@pytest.mark.parametrize("trial", sorted(TRIALS))
+def test_trial_matches_golden(trial, macro):
+    path = GOLDEN_DIR / f"{trial}.npz"
+    assert path.exists(), (
+        f"missing golden {path}; run tests/golden/regenerate.py")
+    golden = load_fingerprint(path)
+    system = TRIALS[trial](macro=macro)
+    current = trajectory_fingerprint(system)
+    mismatches = compare_fingerprints(current, golden)
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_goldens_differ_between_trials():
+    """Sanity: the two committed fingerprints are not the same run."""
+    a = load_fingerprint(GOLDEN_DIR / "hvac_va.npz")
+    b = load_fingerprint(GOLDEN_DIR / "network_vc.npz")
+    assert a["discrete_hash"] != b["discrete_hash"]

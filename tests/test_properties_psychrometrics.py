@@ -1,0 +1,121 @@
+"""Property-based tests for the psychrometric relations.
+
+The Magnus-form relations in :mod:`repro.physics.psychrometrics` come in
+inverse pairs and have well-known shape properties (monotone in each
+argument, saturation as the fixed point).  Hypothesis sweeps the whole
+tropical operating envelope instead of a handful of spot values, which
+is what catches domain-edge regressions (RH -> 100, w -> 0) when the
+formulas or their caches change.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.physics.psychrometrics import (  # noqa: E402
+    ATM_PRESSURE,
+    PsychrometricsError,
+    condensation_occurs,
+    dew_point,
+    dew_point_from_humidity_ratio,
+    humidity_ratio,
+    humidity_ratio_from_dew_point,
+    moist_air_enthalpy,
+    relative_humidity_from_dew_point,
+    relative_humidity_from_ratio,
+    saturation_vapor_pressure,
+)
+
+# The tropical envelope the simulator actually operates in, with margin.
+TEMPS = st.floats(min_value=-10.0, max_value=60.0)
+RHS = st.floats(min_value=0.5, max_value=100.0)
+RATIOS = st.floats(min_value=1e-5, max_value=0.05)
+
+
+class TestRoundTrips:
+    @given(temp=TEMPS, rh=RHS)
+    def test_dew_point_inverts(self, temp, rh):
+        dew = dew_point(temp, rh)
+        rh_back = relative_humidity_from_dew_point(temp, dew)
+        assert rh_back == pytest.approx(rh, rel=1e-9, abs=1e-9)
+
+    @given(dew=st.floats(min_value=-10.0, max_value=40.0))
+    def test_humidity_ratio_inverts(self, dew):
+        w = humidity_ratio_from_dew_point(dew)
+        assert dew_point_from_humidity_ratio(w) == pytest.approx(
+            dew, rel=1e-9, abs=1e-9)
+
+    @given(temp=TEMPS, rh=RHS)
+    def test_ratio_from_state_inverts(self, temp, rh):
+        w = humidity_ratio(temp, rh)
+        rh_back = relative_humidity_from_ratio(temp, w)
+        assert rh_back == pytest.approx(rh, rel=1e-9, abs=1e-9)
+
+    @given(temp=TEMPS, rh=RHS)
+    def test_two_ratio_paths_agree(self, temp, rh):
+        """w(T, RH) must equal w(dew_point(T, RH)): both describe the
+        same vapour content."""
+        via_state = humidity_ratio(temp, rh)
+        via_dew = humidity_ratio_from_dew_point(dew_point(temp, rh))
+        assert via_state == pytest.approx(via_dew, rel=1e-9)
+
+
+class TestSaturationBounds:
+    @given(temp=TEMPS)
+    def test_saturation_is_fixed_point(self, temp):
+        assert dew_point(temp, 100.0) == pytest.approx(temp, abs=1e-9)
+
+    @given(temp=TEMPS, rh=st.floats(min_value=0.5, max_value=99.9))
+    def test_dew_point_below_dry_bulb(self, temp, rh):
+        assert dew_point(temp, rh) < temp
+
+    @given(temp=TEMPS, dew=st.floats(min_value=-10.0, max_value=60.0))
+    def test_rh_from_dew_point_bounded(self, temp, dew):
+        if dew > temp + 1e-9:
+            with pytest.raises(PsychrometricsError):
+                relative_humidity_from_dew_point(temp, dew)
+        else:
+            rh = relative_humidity_from_dew_point(temp, dew)
+            assert 0.0 < rh <= 100.0
+
+    @given(temp=TEMPS)
+    def test_saturation_pressure_positive(self, temp):
+        assert 0.0 < saturation_vapor_pressure(temp) < ATM_PRESSURE
+
+
+class TestMonotonicity:
+    @given(temp=TEMPS, rh_lo=RHS, rh_hi=RHS)
+    def test_dew_point_monotone_in_rh(self, temp, rh_lo, rh_hi):
+        if rh_lo > rh_hi:
+            rh_lo, rh_hi = rh_hi, rh_lo
+        assert dew_point(temp, rh_lo) <= dew_point(temp, rh_hi) + 1e-12
+
+    @given(t_lo=TEMPS, t_hi=TEMPS, rh=RHS)
+    def test_dew_point_monotone_in_temp(self, t_lo, t_hi, rh):
+        if t_lo > t_hi:
+            t_lo, t_hi = t_hi, t_lo
+        assert dew_point(t_lo, rh) <= dew_point(t_hi, rh) + 1e-12
+
+    @given(t_lo=TEMPS, t_hi=TEMPS)
+    def test_saturation_pressure_monotone(self, t_lo, t_hi):
+        if t_lo > t_hi:
+            t_lo, t_hi = t_hi, t_lo
+        assert (saturation_vapor_pressure(t_lo)
+                <= saturation_vapor_pressure(t_hi) + 1e-12)
+
+    @given(temp=TEMPS, w_lo=RATIOS, w_hi=RATIOS)
+    def test_enthalpy_monotone_in_moisture(self, temp, w_lo, w_hi):
+        if w_lo > w_hi:
+            w_lo, w_hi = w_hi, w_lo
+        assert (moist_air_enthalpy(temp, w_lo)
+                <= moist_air_enthalpy(temp, w_hi) + 1e-9)
+
+
+class TestCondensationPredicate:
+    @given(temp=TEMPS, rh=RHS, margin=st.floats(min_value=1e-6,
+                                                max_value=5.0))
+    def test_surface_above_dew_is_safe(self, temp, rh, margin):
+        dew = dew_point(temp, rh)
+        assert not condensation_occurs(dew + margin, temp, rh)
+        assert condensation_occurs(dew - margin, temp, rh)
