@@ -126,3 +126,25 @@ def load_campaign_json(path: str) -> Dict:
     """Read back a report written by :func:`export_campaign_json`."""
     with Path(path).open() as handle:
         return json.load(handle)
+
+
+def export_sweep_json(result, path: str) -> None:
+    """Write a sweep's :meth:`report_dict` as deterministic JSON.
+
+    Same contract as :func:`export_campaign_json`: sorted keys, no
+    wall-clock timestamps, so exports from the same
+    :class:`~repro.workloads.sweep.SweepConfig` are byte-identical
+    regardless of how many workers executed the replicates.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as handle:
+        json.dump(result.report_dict(), handle, indent=2, sort_keys=True,
+                  default=float)
+        handle.write("\n")
+
+
+def load_sweep_json(path: str) -> Dict:
+    """Read back a report written by :func:`export_sweep_json`."""
+    with Path(path).open() as handle:
+        return json.load(handle)

@@ -84,6 +84,11 @@ def render_campaign_report(result) -> str:
             f"| {fallbacks} "
             f"| {score.conservative_entries} "
             f"| {recovery} | {graceful} |")
+    for failure in getattr(result, "failures", ()):
+        lines.append(
+            f"| {failure.label} | RUN FAILED: {failure.kind} after "
+            f"{failure.attempts} attempt(s) — {failure.message} "
+            + "| - " * 8 + "|")
     lines += [
         "",
         "Legend: *excess* columns are faulted minus baseline; "
@@ -92,6 +97,61 @@ def render_campaign_report(result) -> str:
         "*graceful* applies the documented single-crash bound "
         "(see DESIGN.md §7).",
     ]
+    return "\n".join(lines)
+
+
+def render_sweep_report(result) -> str:
+    """Markdown report of a multi-seed sweep (repro.workloads.sweep).
+
+    One row per replicate with its discrete hash (replicates with the
+    same seed must reproduce bit for bit), then the aggregate
+    mean/stddev/min/max of every paper metric across seeds, then any
+    failed replicates as structured rows.
+    """
+    config = result.config
+    lines = [
+        "# Seed sweep report",
+        "",
+        f"- seeds: {', '.join(str(s) for s in config.seeds)}",
+        f"- run length: {config.run_minutes:g} simulated minutes "
+        f"(scored after a {config.warmup_minutes:g} min warmup)",
+        f"- workload script: {config.script}",
+        f"- replicates: {len(result.runs)} ok, "
+        f"{len(result.failures)} failed",
+        "",
+        "| replicate | comfort viol. (min) | COP | collision rate "
+        "| lifetime (y) | discrete hash |",
+        "|---|---|---|---|---|---|",
+    ]
+    for run in result.runs:
+        metrics = run.metrics
+        cop = metrics.get("cop_bubble_zero")
+        rate = metrics.get("collision_rate")
+        life = metrics.get("mean_lifetime_years")
+        lines.append(
+            f"| {run.label} "
+            f"| {metrics.get('comfort_violation_min', 0.0):.2f} "
+            f"| {'-' if cop is None else f'{cop:.3f}'} "
+            f"| {'-' if rate is None else f'{rate * 100:.2f}%'} "
+            f"| {'-' if life is None else f'{life:.2f}'} "
+            f"| `{run.discrete_hash[:16]}` |")
+    for failure in result.failures:
+        lines.append(
+            f"| {failure.label} | RUN FAILED: {failure.kind} after "
+            f"{failure.attempts} attempt(s) — {failure.message} "
+            + "| - " * 4 + "|")
+    lines += [
+        "",
+        "## Aggregates (across replicates)",
+        "",
+        "| metric | mean | stddev | min | max | n |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name, stats in result.aggregates.items():
+        lines.append(
+            f"| {name} | {stats['mean']:.6g} | {stats['stddev']:.3g} "
+            f"| {stats['min']:.6g} | {stats['max']:.6g} "
+            f"| {stats['n']:.0f} |")
     return "\n".join(lines)
 
 

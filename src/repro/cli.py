@@ -15,6 +15,7 @@ persist the traces and outcome summary.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -60,7 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trial", choices=["hvac", "network", "all"],
                        default="all")
     bench.add_argument("--no-macro", action="store_true")
-    bench.add_argument("-o", "--output", default="BENCH_1.json")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="best-of-N wall clock per trial")
+    bench.add_argument("--workers", type=int, default=0,
+                       help="also run the parallel fan-out section with "
+                            "this many workers (0: skip)")
+    bench.add_argument("-o", "--output", default="BENCH_2.json")
 
     campaign = sub.add_parser(
         "campaign",
@@ -71,10 +77,51 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=7)
     campaign.add_argument("--minutes", type=float, default=None,
                           help="override the per-cell run length")
+    campaign.add_argument("--warmup-minutes", type=float, default=None,
+                          help="override the scoring warmup (must fit "
+                               "inside the run length)")
+    campaign.add_argument("--only", metavar="GLOB",
+                          help="run only cells whose name matches this "
+                               "shell-style pattern (e.g. 'stuck-*')")
+    campaign.add_argument("--workers", type=int, default=None,
+                          help="process-pool width (default: cpu count, "
+                               "capped at the number of runs)")
+    campaign.add_argument("--timeout-s", type=float, default=None,
+                          help="per-run wall-clock timeout (workers > 1)")
     campaign.add_argument("--report", metavar="PATH",
                           help="write the markdown report here")
     campaign.add_argument("--json", metavar="PATH", dest="json_path",
                           help="write the machine-readable report here")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="replicate a trial across seeds and aggregate the paper "
+             "metrics (mean/stddev/min/max)")
+    sweep.add_argument("--seeds", type=int, default=5,
+                       help="number of replicate seeds (default: 5)")
+    sweep.add_argument("--seed-base", type=int, default=1,
+                       help="first seed of the range (default: 1)")
+    sweep.add_argument("--minutes", type=float, default=105.0,
+                       help="run length per replicate (default: the "
+                            "paper's 105)")
+    sweep.add_argument("--warmup-minutes", type=float, default=30.0,
+                       help="cold-start transient excluded from comfort "
+                            "scoring (default: 30)")
+    sweep.add_argument("--paper-events", action="store_true",
+                       help="schedule the paper's 14:05/14:25 door events")
+    sweep.add_argument("--direct", action="store_true",
+                       help="wired control loop (no radio)")
+    sweep.add_argument("--fixed-tx", action="store_true",
+                       help="Fixed transmission scheme instead of BT-ADPT")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool width (default: cpu count, "
+                            "capped at the number of replicates)")
+    sweep.add_argument("--timeout-s", type=float, default=None,
+                       help="per-run wall-clock timeout (workers > 1)")
+    sweep.add_argument("--report", metavar="PATH",
+                       help="write the markdown report here")
+    sweep.add_argument("--json", metavar="PATH", dest="json_path",
+                       help="write the machine-readable report here")
     return parser
 
 
@@ -172,7 +219,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     from repro.analysis.export import export_campaign_json
     from repro.analysis.reporting import render_campaign_report
+    from repro.runtime.pool import default_worker_count
     from repro.workloads.campaign import (
+        CampaignExecutionError,
+        filter_cells,
         full_campaign_config,
         quick_campaign_config,
         run_campaign,
@@ -180,10 +230,35 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     config = (quick_campaign_config(seed=args.seed) if args.quick
               else full_campaign_config(seed=args.seed))
+    overrides = {}
     if args.minutes is not None:
-        config.run_minutes = args.minutes
-    result = run_campaign(config, progress=lambda m: print(f"  {m}",
-                                                           flush=True))
+        overrides["run_minutes"] = args.minutes
+    if args.warmup_minutes is not None:
+        overrides["warmup_minutes"] = args.warmup_minutes
+    if overrides:
+        # replace() re-runs CampaignConfig validation, so a warmup that
+        # no longer fits the shortened run fails here, not mid-campaign.
+        try:
+            config = dataclasses.replace(config, **overrides)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    if args.only:
+        try:
+            config.cells = filter_cells(config.cells, args.only)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    workers = (default_worker_count(len(config.cells) + 1)
+               if args.workers is None else args.workers)
+    print(f"{len(config.cells)} cells + baseline, {workers} worker(s)")
+    try:
+        result = run_campaign(
+            config, progress=lambda m: print(f"  {m}", flush=True),
+            workers=workers, timeout_s=args.timeout_s)
+    except CampaignExecutionError as exc:
+        print(f"campaign aborted: {exc}", file=sys.stderr)
+        return 1
     report = render_campaign_report(result)
     print()
     print(report)
@@ -195,11 +270,59 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.json_path:
         export_campaign_json(result, args.json_path)
         print(f"wrote JSON to {args.json_path}")
+    status = 0
+    if result.failures:
+        names = ", ".join(f.label for f in result.failures)
+        print(f"runs that failed to execute: {names}")
+        status = 1
     failed = [cell.cell.name for cell in result.cells
               if cell.graceful is False]
     if failed:
         print(f"single-crash cells exceeding the graceful bound: "
               f"{', '.join(failed)}")
+        status = 1
+    return status
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.export import export_sweep_json
+    from repro.analysis.reporting import render_sweep_report
+    from repro.runtime.pool import default_worker_count
+    from repro.runtime.progress import ProgressPrinter
+    from repro.workloads.sweep import SweepConfig, run_sweep
+
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    try:
+        config = SweepConfig(seeds=seeds, run_minutes=args.minutes,
+                             warmup_minutes=args.warmup_minutes,
+                             script=("paper-phase-two" if args.paper_events
+                                     else "none"),
+                             direct=args.direct, fixed_tx=args.fixed_tx)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    workers = (default_worker_count(len(seeds)) if args.workers is None
+               else args.workers)
+    print(f"{len(seeds)} replicates (seeds {seeds[0]}..{seeds[-1]}), "
+          f"{config.run_minutes:g} min each, {workers} worker(s)")
+    result = run_sweep(config, workers=workers, timeout_s=args.timeout_s,
+                       progress=ProgressPrinter(len(seeds)))
+    report = render_sweep_report(result)
+    print()
+    print(report)
+    if args.report:
+        out = Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
+        print(f"wrote report to {args.report}")
+    if args.json_path:
+        export_sweep_json(result, args.json_path)
+        print(f"wrote JSON to {args.json_path}")
+    if result.failures:
+        names = ", ".join(f.label for f in result.failures)
+        print(f"replicates that failed to execute: {names}")
         return 1
     return 0
 
@@ -207,7 +330,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main as bench_main
 
-    forwarded = ["--trial", args.trial, "--output", args.output]
+    forwarded = ["--trial", args.trial, "--output", args.output,
+                 "--repeat", str(args.repeat),
+                 "--workers", str(args.workers)]
     if args.no_macro:
         forwarded.append("--no-macro")
     return bench_main(forwarded)
@@ -216,7 +341,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "cop": cmd_cop, "lifetime": cmd_lifetime,
-                "bench": cmd_bench, "campaign": cmd_campaign}
+                "bench": cmd_bench, "campaign": cmd_campaign,
+                "sweep": cmd_sweep}
     return handlers[args.command](args)
 
 

@@ -58,20 +58,33 @@ class SnifferRecord:
 
 
 class Sniffer:
-    """Promiscuous logger of everything on the channel."""
+    """Promiscuous logger of everything on the channel.
+
+    ``collision_count`` and ``frames_of`` are answered from running
+    counters and a per-type index maintained in :meth:`log` — both
+    used to re-scan the full frame list on every call, which made each
+    per-report query O(total frames) on multi-hour runs.
+    """
 
     def __init__(self) -> None:
         self.records: List[SnifferRecord] = []
+        self._collisions = 0
+        self._by_type: Dict[object, List[SnifferRecord]] = {}
 
     def log(self, record: SnifferRecord) -> None:
         self.records.append(record)
+        if record.collided:
+            self._collisions += 1
+        self._by_type.setdefault(record.packet.data_type,
+                                 []).append(record)
 
     def frames_of(self, data_type) -> List[SnifferRecord]:
-        return [r for r in self.records if r.packet.data_type == data_type]
+        """Frames carrying ``data_type``, in arrival order (a copy)."""
+        return list(self._by_type.get(data_type, ()))
 
     @property
     def collision_count(self) -> int:
-        return sum(1 for r in self.records if r.collided)
+        return self._collisions
 
     @property
     def frame_count(self) -> int:

@@ -80,6 +80,22 @@ def cache_clear() -> None:
         fn.cache_clear()
 
 
+def cache_stats() -> dict:
+    """Like :func:`cache_info`, with a derived ``hit_rate`` per relation.
+
+    ``hit_rate`` is hits / (hits + misses), or 0.0 before any lookup —
+    the number the benchmark harness records so cache regressions show
+    up in BENCH comparisons.
+    """
+    stats = {}
+    for name, info in cache_info().items():
+        lookups = info["hits"] + info["misses"]
+        stats[name] = dict(info)
+        stats[name]["hit_rate"] = (info["hits"] / lookups if lookups
+                                   else 0.0)
+    return stats
+
+
 def cache_info() -> dict:
     """Hit/miss statistics of every memoized relation, keyed by name."""
     return {

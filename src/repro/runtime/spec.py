@@ -1,0 +1,217 @@
+"""Picklable run specifications and their in-worker execution.
+
+A :class:`RunSpec` is everything a worker process needs to rebuild a
+:class:`~repro.core.system.BubbleZero` from scratch and run it:
+config, cell-relative faults, a workload script *name* (scripts hold
+callables, so they are referenced by registry key rather than
+pickled), and the horizon.  The worker returns only a compact
+:class:`RunResult` — outcome, discrete hash, paper metrics, timing —
+never a live system, so the payload crossing the process boundary
+stays small and spawn-safe.
+
+Execution is a pure function of the spec: the same spec produces the
+same :class:`RunResult` (minus wall-clock timing) whether it runs in
+this process, a spawned worker, or a retried replacement worker.  That
+is the foundation of the pool's determinism guarantee (see
+:mod:`repro.runtime.pool`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.degradation import RunOutcome, summarize_run
+from repro.analysis.fingerprint import discrete_log_hash
+from repro.core.config import BubbleZeroConfig
+from repro.workloads.events import (
+    paper_phase_two_events,
+    periodic_disturbance_events,
+)
+from repro.workloads.faults import (
+    ChannelJam,
+    Fault,
+    FaultScript,
+    NodeCrash,
+    SensorDrift,
+    SensorStuck,
+)
+
+# Workload scripts are registered by name: an EventScript holds bound
+# callables and is rebuilt inside the worker, never pickled.  Each
+# builder takes (start_s, horizon_s) of the run about to execute.
+SCRIPT_BUILDERS = {
+    "none": lambda start_s, horizon_s: None,
+    "paper-phase-two":
+        lambda start_s, horizon_s: paper_phase_two_events(),
+    "periodic-disturbance":
+        lambda start_s, horizon_s: periodic_disturbance_events(
+            start_s, horizon_s),
+}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent seeded run, picklable under the spawn method."""
+
+    label: str
+    config: BubbleZeroConfig
+    faults: Tuple[Fault, ...] = ()
+    script: str = "none"
+    run_minutes: float = 45.0
+    warmup_minutes: float = 0.0
+    # Test-only fault-injection hook, interpreted by _apply_injection
+    # before the run starts ("delay:S", "hang", "crash",
+    # "crash-below-attempt:N", "raise").  Never set by production code.
+    inject: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.script not in SCRIPT_BUILDERS:
+            raise ValueError(
+                f"unknown workload script {self.script!r}; known: "
+                f"{', '.join(sorted(SCRIPT_BUILDERS))}")
+        if self.run_minutes <= 0:
+            raise ValueError("runs must have positive length")
+        if not 0 <= self.warmup_minutes < self.run_minutes:
+            raise ValueError("warmup must fit inside the run")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Compact outcome payload returned by a worker."""
+
+    label: str
+    outcome: RunOutcome
+    discrete_hash: str
+    metrics: Dict[str, float]
+    wall_s: float
+    sim_s: float
+    events: int
+    clearance_time: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A run that could not produce a result, with how it died.
+
+    ``kind`` is one of ``crash`` (the worker process exited without
+    replying), ``timeout`` (the per-run deadline passed) or
+    ``exception`` (the run raised; deterministic, so never retried).
+    ``attempts`` counts executions including the failed ones.
+    """
+
+    index: int
+    label: str
+    kind: str
+    message: str
+    attempts: int
+
+    def report_row(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+def shift_fault(fault: Fault, t0: float) -> Fault:
+    """Rebase a cell-relative fault onto the simulator's clock."""
+    if isinstance(fault, (SensorStuck, SensorDrift)):
+        until = None if fault.until is None else fault.until + t0
+        return replace(fault, time=fault.time + t0, until=until)
+    if isinstance(fault, NodeCrash):
+        return replace(fault, time=fault.time + t0)
+    if isinstance(fault, ChannelJam):
+        return replace(fault, start=fault.start + t0, end=fault.end + t0)
+    raise TypeError(f"unknown fault: {fault!r}")  # pragma: no cover
+
+
+def paper_metrics(system, outcome: RunOutcome) -> Dict[str, float]:
+    """The §V metrics a sweep aggregates, as one flat name->float dict.
+
+    COP keys are only present when the corresponding module consumed
+    power (matching :meth:`Plant.cop_report`); network keys only when
+    the run had a radio.
+    """
+    import numpy as np
+
+    metrics: Dict[str, float] = {}
+    for key, value in system.plant.cop_report().items():
+        metrics[f"cop_{key}"] = float(value)
+    metrics["comfort_violation_min"] = float(
+        outcome.total_comfort_violation_min)
+    metrics["dew_margin_violation_min"] = float(
+        sum(outcome.dew_margin_violation_min.values()))
+    metrics["condensation_events"] = float(outcome.condensation_events)
+    metrics["mean_temp_c"] = float(outcome.mean_temp_c)
+    metrics["mean_dew_c"] = float(outcome.mean_dew_c)
+    metrics["energy_j"] = float(outcome.power_consumed_j)
+    metrics["cooling_exergy_j"] = float(outcome.cooling_exergy_j)
+    if system.medium is not None:
+        stats = system.network_stats()
+        metrics["transmissions"] = float(stats["transmissions"])
+        metrics["collisions"] = float(stats["collisions"])
+        metrics["collision_rate"] = float(stats["collision_rate"])
+        elapsed = system.sim.clock.elapsed
+        metrics["mean_lifetime_years"] = float(np.mean(
+            [node.projected_lifetime_years(elapsed)
+             for node in system.bt_nodes]))
+    return metrics
+
+
+def execute_spec(spec: RunSpec, attempt: int = 0) -> RunResult:
+    """Build, run and summarise one spec — the worker's whole job."""
+    from repro.core.system import BubbleZero
+
+    _apply_injection(spec.inject, attempt)
+    t0 = time.perf_counter()
+    system = BubbleZero(spec.config)
+    start = system.sim.now
+    horizon_s = spec.run_minutes * 60.0
+    script = SCRIPT_BUILDERS[spec.script](start, horizon_s)
+    if script is not None:
+        system.schedule_script(script)
+    clearance: Optional[float] = None
+    if spec.faults:
+        fault_script = FaultScript(
+            [shift_fault(fault, start) for fault in spec.faults])
+        fault_script.apply_to(system)
+        clearance = fault_script.clearance_time()
+    system.start()
+    system.run(minutes=spec.run_minutes)
+    system.finalize()
+    outcome = summarize_run(system, spec.label, clearance_time=clearance,
+                            warmup_s=spec.warmup_minutes * 60.0)
+    return RunResult(
+        label=spec.label,
+        outcome=outcome,
+        discrete_hash=discrete_log_hash(system),
+        metrics=paper_metrics(system, outcome),
+        wall_s=time.perf_counter() - t0,
+        sim_s=horizon_s,
+        events=system.sim.events_dispatched,
+        clearance_time=clearance,
+    )
+
+
+def _apply_injection(inject: Optional[str], attempt: int) -> None:
+    """Test-only hooks exercising the pool's failure handling."""
+    if not inject:
+        return
+    if inject.startswith("delay:"):
+        time.sleep(float(inject.split(":", 1)[1]))
+    elif inject == "hang":
+        time.sleep(3600.0)  # pragma: no cover - killed by the pool
+    elif inject == "crash":
+        os._exit(3)
+    elif inject.startswith("crash-below-attempt:"):
+        if attempt < int(inject.split(":", 1)[1]):
+            os._exit(3)
+    elif inject == "raise":
+        raise RuntimeError("injected failure")
+    else:
+        raise ValueError(f"unknown injection {inject!r}")

@@ -11,27 +11,35 @@ the same report dict, bit for bit.
 
 Cells hold faults with onsets *relative to the run start*; the runner
 shifts them onto the simulator's absolute clock when applying.
+
+The runner is split into two pure halves around the
+:mod:`repro.runtime` executor: :func:`campaign_specs` turns a config
+into an ordered list of picklable :class:`~repro.runtime.spec.RunSpec`
+(baseline first), and :func:`merge_campaign` folds the executor's
+in-spec-order payloads back into a scored :class:`CampaignResult`.
+Because the merge is keyed by spec position — never completion order —
+the report is byte-identical whether the specs ran serially or fanned
+out over a process pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.degradation import (
     DegradationScore,
     RunOutcome,
     compare_outcomes,
     is_graceful,
-    summarize_run,
 )
-from repro.analysis.fingerprint import discrete_log_hash
-from repro.core.config import BubbleZeroConfig
-from repro.core.system import BubbleZero
+from repro.runtime.pool import RunPayload, run_specs
+from repro.runtime.progress import STARTED, ProgressEvent
+from repro.runtime.spec import RunFailure, RunSpec, shift_fault
 from repro.workloads.faults import (
     ChannelJam,
     Fault,
-    FaultScript,
     NodeCrash,
     SensorDrift,
     SensorStuck,
@@ -104,6 +112,7 @@ class CampaignResult:
     baseline: RunOutcome
     baseline_hash: str
     cells: List[CellResult] = field(default_factory=list)
+    failures: List[RunFailure] = field(default_factory=list)
 
     def report_dict(self) -> Dict[str, object]:
         """Deterministic, JSON-serialisable campaign report."""
@@ -124,6 +133,8 @@ class CampaignResult:
                 }
                 for result in self.cells
             ],
+            "failures": [failure.report_row()
+                         for failure in self.failures],
         }
 
 
@@ -223,59 +234,119 @@ def full_campaign_config(seed: int = 7) -> CampaignConfig:
 
 
 # ----------------------------------------------------------------------
-# Runner
+# Cell filtering
 # ----------------------------------------------------------------------
-def _shift(fault: Fault, t0: float) -> Fault:
-    """Rebase a cell-relative fault onto the simulator's clock."""
-    if isinstance(fault, (SensorStuck, SensorDrift)):
-        until = None if fault.until is None else fault.until + t0
-        return replace(fault, time=fault.time + t0, until=until)
-    if isinstance(fault, NodeCrash):
-        return replace(fault, time=fault.time + t0)
-    if isinstance(fault, ChannelJam):
-        return replace(fault, start=fault.start + t0, end=fault.end + t0)
-    raise TypeError(f"unknown fault: {fault!r}")  # pragma: no cover
+def filter_cells(cells: Sequence[CampaignCell],
+                 pattern: str) -> List[CampaignCell]:
+    """Cells whose name matches the shell-style ``pattern``.
+
+    Raises :class:`ValueError` when nothing matches, so a typo fails
+    loudly instead of silently running an empty campaign.
+    """
+    selected = [cell for cell in cells
+                if fnmatchcase(cell.name, pattern)]
+    if not selected:
+        names = ", ".join(cell.name for cell in cells)
+        raise ValueError(f"no campaign cell matches {pattern!r}; "
+                         f"available: {names}")
+    return selected
 
 
-def _run_one(config: CampaignConfig, label: str,
-             cell: Optional[CampaignCell]) -> Tuple[RunOutcome, str]:
-    system = BubbleZero(BubbleZeroConfig(seed=config.seed))
-    clearance: Optional[float] = None
-    if cell is not None:
-        t0 = system.sim.now
-        script = FaultScript([_shift(f, t0) for f in cell.faults])
-        script.apply_to(system)
-        clearance = script.clearance_time()
-    system.start()
-    system.run(minutes=config.run_minutes)
-    system.finalize()
-    outcome = summarize_run(system, label, clearance_time=clearance,
-                            warmup_s=config.warmup_minutes * 60.0)
-    return outcome, discrete_log_hash(system)
+# ----------------------------------------------------------------------
+# Runner: spec-producing and merging halves around repro.runtime
+# ----------------------------------------------------------------------
+# Backwards-compatible alias; the shift now lives with the executor.
+_shift = shift_fault
 
 
-def run_campaign(config: CampaignConfig,
-                 progress: Optional[Callable[[str], None]] = None
-                 ) -> CampaignResult:
-    """Run baseline plus every cell; score each against the baseline."""
-    def note(message: str) -> None:
-        if progress is not None:
-            progress(message)
+class CampaignExecutionError(RuntimeError):
+    """The campaign could not be scored (the baseline run failed)."""
 
-    note(f"baseline ({config.run_minutes:g} min, seed {config.seed})")
-    baseline, baseline_hash = _run_one(config, "baseline", None)
+    def __init__(self, failure: RunFailure) -> None:
+        self.failure = failure
+        super().__init__(
+            f"baseline run failed ({failure.kind} after "
+            f"{failure.attempts} attempt(s)): {failure.message}")
+
+
+def campaign_specs(config: CampaignConfig) -> List[RunSpec]:
+    """The campaign as an ordered spec list: baseline first, then one
+    spec per cell, every spec fully independent and picklable."""
+    from repro.core.config import BubbleZeroConfig
+
+    base_config = BubbleZeroConfig(seed=config.seed)
+    specs = [RunSpec(label="baseline", config=base_config,
+                     run_minutes=config.run_minutes,
+                     warmup_minutes=config.warmup_minutes)]
+    for cell in config.cells:
+        specs.append(RunSpec(label=cell.name, config=base_config,
+                             faults=tuple(cell.faults),
+                             run_minutes=config.run_minutes,
+                             warmup_minutes=config.warmup_minutes))
+    return specs
+
+
+def merge_campaign(config: CampaignConfig,
+                   payloads: Sequence[RunPayload]) -> CampaignResult:
+    """Fold executor payloads (in :func:`campaign_specs` order) into a
+    scored result.
+
+    Cell failures become structured rows in ``result.failures``; a
+    failed baseline raises :class:`CampaignExecutionError` because
+    nothing can be scored without it.  Only spec order matters, so the
+    merged report is identical for any worker count.
+    """
+    if len(payloads) != len(config.cells) + 1:
+        raise ValueError(
+            f"expected {len(config.cells) + 1} payloads "
+            f"(baseline + cells), got {len(payloads)}")
+    baseline_payload = payloads[0]
+    if isinstance(baseline_payload, RunFailure):
+        raise CampaignExecutionError(baseline_payload)
+    baseline = baseline_payload.outcome
     result = CampaignResult(seed=config.seed,
                             run_minutes=config.run_minutes,
                             warmup_minutes=config.warmup_minutes,
                             baseline=baseline,
-                            baseline_hash=baseline_hash)
-    for cell in config.cells:
-        note(f"cell {cell.name}: {cell.describe()}")
-        outcome, cell_hash = _run_one(config, cell.name, cell)
-        score = compare_outcomes(baseline, outcome)
+                            baseline_hash=baseline_payload.discrete_hash)
+    for cell, payload in zip(config.cells, payloads[1:]):
+        if isinstance(payload, RunFailure):
+            result.failures.append(payload)
+            continue
+        score = compare_outcomes(baseline, payload.outcome)
         result.cells.append(CellResult(
-            cell=cell, outcome=outcome, score=score,
-            discrete_hash=cell_hash,
+            cell=cell, outcome=payload.outcome, score=score,
+            discrete_hash=payload.discrete_hash,
             graceful=(is_graceful(score) if cell.is_single_crash()
                       else None)))
     return result
+
+
+def run_campaign(config: CampaignConfig,
+                 progress: Optional[Callable[[str], None]] = None,
+                 workers: int = 1,
+                 timeout_s: Optional[float] = None) -> CampaignResult:
+    """Run baseline plus every cell; score each against the baseline.
+
+    ``workers=1`` executes in-process; ``workers=N`` fans the
+    independent runs out over a spawn-safe process pool
+    (:mod:`repro.runtime.pool`) with identical, byte-reproducible
+    results.  ``progress`` receives one human-readable line as each
+    run *starts* (submission order when serial, dispatch order when
+    pooled).
+    """
+    specs = campaign_specs(config)
+
+    def describe(event: ProgressEvent) -> None:
+        if progress is None or event.kind != STARTED or event.attempt:
+            return
+        if event.index == 0:
+            progress(f"baseline ({config.run_minutes:g} min, "
+                     f"seed {config.seed})")
+        else:
+            cell = config.cells[event.index - 1]
+            progress(f"cell {cell.name}: {cell.describe()}")
+
+    payloads = run_specs(specs, workers=workers, timeout_s=timeout_s,
+                         progress=describe)
+    return merge_campaign(config, payloads)

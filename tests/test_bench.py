@@ -1,0 +1,80 @@
+"""Tests for the benchmark harness helpers (repro.bench).
+
+The real trials take seconds each, so ``run_best_of`` is exercised
+against stub trials injected into ``TRIALS``.
+"""
+
+import pytest
+
+from repro import bench
+from repro.physics import psychrometrics
+
+
+class TestDomainMismatches:
+    def test_timing_keys_are_ignored(self):
+        first = {"wall_s": 1.0, "events_per_s": 10.0, "events": 100,
+                 "nested": {"sim_s_per_wall_s": 2.0, "metric": 5.0}}
+        other = {"wall_s": 9.0, "events_per_s": 1.0, "events": 100,
+                 "nested": {"sim_s_per_wall_s": 7.0, "metric": 5.0}}
+        assert bench.domain_mismatches(first, other) == []
+
+    def test_domain_divergence_is_reported(self):
+        first = {"events": 100, "nested": {"metric": 5.0}}
+        other = {"events": 101, "nested": {"metric": 6.0}}
+        mismatches = bench.domain_mismatches(first, other)
+        assert len(mismatches) == 2
+        assert any(m.startswith("events:") for m in mismatches)
+        assert any(m.startswith("nested/metric:") for m in mismatches)
+
+    def test_missing_key_counts_as_mismatch(self):
+        assert bench.domain_mismatches({"events": 1}, {}) != []
+
+
+class TestRunBestOf:
+    def _install_stub(self, monkeypatch, walls, domain_value=42):
+        calls = iter(walls)
+
+        def stub_trial(macro):
+            wall = next(calls)
+            return {"wall_s": wall, "sim_s": 60.0, "events": 1000,
+                    "events_per_s": 1000 / wall,
+                    "sim_s_per_wall_s": 60.0 / wall,
+                    "domain": domain_value}
+
+        monkeypatch.setitem(bench.TRIALS, "stub", stub_trial)
+
+    def test_keeps_best_wall_and_recomputes_rates(self, monkeypatch):
+        self._install_stub(monkeypatch, walls=[2.0, 0.5, 1.0])
+        best = bench.run_best_of("stub", macro=True, repeat=3)
+        assert best["wall_s"] == 0.5
+        assert best["events_per_s"] == pytest.approx(2000.0)
+        assert best["sim_s_per_wall_s"] == pytest.approx(120.0)
+        assert best["repeat"] == 3
+
+    def test_rejects_non_positive_repeat(self):
+        with pytest.raises(ValueError):
+            bench.run_best_of("hvac", macro=True, repeat=0)
+
+    def test_raises_on_nondeterministic_trial(self, monkeypatch):
+        drifting = iter([41, 42])
+
+        def flaky_trial(macro):
+            return {"wall_s": 1.0, "sim_s": 60.0, "events": 1000,
+                    "domain": next(drifting)}
+
+        monkeypatch.setitem(bench.TRIALS, "flaky", flaky_trial)
+        with pytest.raises(RuntimeError, match="not deterministic"):
+            bench.run_best_of("flaky", macro=True, repeat=2)
+
+
+class TestPsychroCacheStats:
+    def test_hit_rate_reported_per_relation(self):
+        psychrometrics.cache_clear()
+        psychrometrics.saturation_vapor_pressure(20.0)
+        psychrometrics.saturation_vapor_pressure(20.0)
+        stats = psychrometrics.cache_stats()
+        for info in stats.values():
+            assert 0.0 <= info["hit_rate"] <= 1.0
+        sat = stats["saturation_vapor_pressure"]
+        assert sat["hits"] >= 1
+        assert sat["hit_rate"] > 0.0

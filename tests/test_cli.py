@@ -55,3 +55,58 @@ class TestCopCommand:
         out = capsys.readouterr().out
         assert "BubbleZERO" in out
         assert "improvement over AirCon" in out
+
+
+class TestCampaignCommand:
+    def test_only_filters_cells(self, capsys, tmp_path):
+        json_path = tmp_path / "campaign.json"
+        code = main(["campaign", "--quick", "--only", "stuck-*",
+                     "--minutes", "6", "--warmup-minutes", "2",
+                     "--workers", "1", "--json", str(json_path)])
+        assert code == 0
+        loaded = json.loads(json_path.read_text())
+        names = [cell["name"] for cell in loaded["cells"]]
+        assert names == ["stuck-high", "stuck-low"]
+        assert "2 cells + baseline, 1 worker(s)" in capsys.readouterr().out
+
+    def test_minutes_override_revalidates_warmup(self, capsys):
+        # Shrinking the run below the default 30 min warmup must fail
+        # loudly at argument time, not crash mid-campaign.
+        code = main(["campaign", "--quick", "--minutes", "6"])
+        assert code == 2
+        assert "warmup" in capsys.readouterr().err
+
+    def test_only_with_no_match_fails_loudly(self, capsys):
+        code = main(["campaign", "--quick", "--only", "no-such-cell"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no campaign cell matches" in err
+        assert "stuck-high" in err  # lists the available names
+
+
+class TestSweepCommand:
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.seeds == 5
+        assert args.seed_base == 1
+        assert args.minutes == 105.0
+        assert args.workers is None
+
+    def test_short_sweep(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        code = main(["sweep", "--seeds", "2", "--minutes", "2",
+                     "--warmup-minutes", "1", "--workers", "1",
+                     "--json", str(json_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Seed sweep report" in out
+        assert "2 replicates (seeds 1..2)" in out
+        loaded = json.loads(json_path.read_text())
+        assert loaded["seeds"] == [1, 2]
+        assert loaded["failures"] == []
+
+    def test_invalid_sweep_config_exits_2(self, capsys):
+        code = main(["sweep", "--seeds", "2", "--minutes", "5",
+                     "--warmup-minutes", "5"])
+        assert code == 2
+        assert "warmup" in capsys.readouterr().err

@@ -129,6 +129,31 @@ class TestSniffer:
         sim.run(1.0)
         assert sniffer.collision_count == 2
 
+    def test_running_counters_match_brute_force_scan(self, sim):
+        # collision_count and frames_of are maintained incrementally in
+        # log(); they must agree with a full scan over the record list.
+        medium = BroadcastMedium(sim, loss_probability=0.0)
+        sniffer = Sniffer()
+        medium.attach_sniffer(sniffer)
+        medium.attach_receiver("rx", lambda p, s: None)
+        types = (DataType.TEMPERATURE, DataType.HUMIDITY, DataType.CO2)
+        for round_no in range(20):
+            data_type = types[round_no % len(types)]
+            medium.transmit(make_packet(source="a", data_type=data_type),
+                            "a")
+            if round_no % 4 == 0:  # force a collision on some rounds
+                medium.transmit(
+                    make_packet(source="b", data_type=data_type), "b")
+            sim.run(1.0)
+        assert sniffer.collision_count == sum(
+            1 for r in sniffer.records if r.collided)
+        assert sniffer.collision_count > 0
+        for data_type in types:
+            assert sniffer.frames_of(data_type) == [
+                r for r in sniffer.records
+                if r.packet.data_type == data_type]
+        assert sniffer.frames_of("no-such-type") == []
+
     def test_activity_listener_invoked(self, sim):
         medium = BroadcastMedium(sim)
         seen = []
