@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=0,
                        help="also run the parallel fan-out section with "
                             "this many workers (0: skip)")
+    bench.add_argument("--obs", action="store_true",
+                       help="also measure observability overhead: rerun "
+                            "the trials with telemetry on and assert "
+                            "<3%% wall-clock cost and identical hashes")
+    bench.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="write the instrumented trials' telemetry "
+                            "artifacts here (implies --obs)")
     bench.add_argument("-o", "--output", default="BENCH_2.json")
 
     campaign = sub.add_parser(
@@ -92,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the markdown report here")
     campaign.add_argument("--json", metavar="PATH", dest="json_path",
                           help="write the machine-readable report here")
+    campaign.add_argument("--telemetry", metavar="DIR", default=None,
+                          help="record per-run observability (events, "
+                               "metrics, health, profile) into this "
+                               "directory; runs stay bit-identical")
 
     sweep = sub.add_parser(
         "sweep",
@@ -122,6 +133,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the markdown report here")
     sweep.add_argument("--json", metavar="PATH", dest="json_path",
                        help="write the machine-readable report here")
+    sweep.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="record per-replicate observability into "
+                            "this directory; runs stay bit-identical")
+
+    status = sub.add_parser(
+        "status",
+        help="render the health/telemetry view of a recorded run")
+    status.add_argument("--telemetry", metavar="DIR", required=True,
+                        help="telemetry directory written by campaign/"
+                             "sweep/bench --telemetry")
+    status.add_argument("--validate", action="store_true",
+                        help="also validate every artifact against the "
+                             "event and manifest schemas (exit 1 on any "
+                             "problem)")
     return parser
 
 
@@ -255,7 +280,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     try:
         result = run_campaign(
             config, progress=lambda m: print(f"  {m}", flush=True),
-            workers=workers, timeout_s=args.timeout_s)
+            workers=workers, timeout_s=args.timeout_s,
+            telemetry_dir=args.telemetry)
     except CampaignExecutionError as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
         return 1
@@ -308,7 +334,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"{len(seeds)} replicates (seeds {seeds[0]}..{seeds[-1]}), "
           f"{config.run_minutes:g} min each, {workers} worker(s)")
     result = run_sweep(config, workers=workers, timeout_s=args.timeout_s,
-                       progress=ProgressPrinter(len(seeds)))
+                       progress=ProgressPrinter(len(seeds)),
+                       telemetry_dir=args.telemetry)
     report = render_sweep_report(result)
     print()
     print(report)
@@ -335,14 +362,39 @@ def cmd_bench(args: argparse.Namespace) -> int:
                  "--workers", str(args.workers)]
     if args.no_macro:
         forwarded.append("--no-macro")
+    if args.obs:
+        forwarded.append("--obs")
+    if args.telemetry:
+        forwarded.extend(["--telemetry", args.telemetry])
     return bench_main(forwarded)
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.obs.status import (
+        load_telemetry,
+        render_status,
+        validate_telemetry,
+    )
+
+    telemetry = load_telemetry(args.telemetry)
+    print(render_status(telemetry))
+    if args.validate:
+        problems = validate_telemetry(args.telemetry)
+        if problems:
+            print(f"{len(problems)} validation problem(s):",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print("telemetry valid: every artifact matches its schema")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "cop": cmd_cop, "lifetime": cmd_lifetime,
                 "bench": cmd_bench, "campaign": cmd_campaign,
-                "sweep": cmd_sweep}
+                "sweep": cmd_sweep, "status": cmd_status}
     return handlers[args.command](args)
 
 

@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.control.radiant import RadiantCoolingController
 from repro.control.ventilation import VentilationController
+from repro.obs.events import CONSERVATIVE_LATCHED, CONSERVATIVE_RELEASED
 from repro.physics.psychrometrics import dew_point
 
 # Conservative-mode latch: extra dew-point margin applied to the
@@ -63,6 +64,9 @@ class Supervisor:
         self.conservative_mode_s = 0.0
         self._conservative_since: Optional[float] = None
         self._healthy_since: Optional[float] = None
+        # Observability context; the system wires it after construction
+        # so standalone Supervisors (unit tests) keep working untouched.
+        self.obs = None
 
     def register_radiant(self, controller: RadiantCoolingController) -> None:
         self._radiant.append(controller)
@@ -105,6 +109,10 @@ class Supervisor:
                 for controller in self._radiant:
                     controller.conservative_extra_margin_k = (
                         CONSERVATIVE_EXTRA_MARGIN_K)
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.events.emit(CONSERVATIVE_LATCHED, now)
+                    self.obs.metrics.counter(
+                        "control.conservative_latches").inc()
             return
         if not self.conservative_mode:
             return
@@ -113,11 +121,16 @@ class Supervisor:
         elif now - self._healthy_since >= CONSERVATIVE_HOLD_S:
             self.conservative_mode = False
             self._healthy_since = None
+            held_s = 0.0
             if self._conservative_since is not None:
-                self.conservative_mode_s += now - self._conservative_since
+                held_s = now - self._conservative_since
+                self.conservative_mode_s += held_s
                 self._conservative_since = None
             for controller in self._radiant:
                 controller.conservative_extra_margin_k = 0.0
+            if self.obs is not None and self.obs.enabled:
+                self.obs.events.emit(CONSERVATIVE_RELEASED, now,
+                                     held_s=held_s)
 
     def conservative_seconds(self, now: float) -> float:
         """Total time spent latched conservative, up to ``now``."""

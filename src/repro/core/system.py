@@ -65,10 +65,12 @@ class BubbleZero:
     """The full distributed HVAC system."""
 
     def __init__(self, config: Optional[BubbleZeroConfig] = None,
-                 weather: Optional[WeatherModel] = None) -> None:
+                 weather: Optional[WeatherModel] = None,
+                 obs=None) -> None:
         self.config = config or BubbleZeroConfig()
         self.sim = Simulator(seed=self.config.seed,
-                             start_time=self.config.start_time_s)
+                             start_time=self.config.start_time_s,
+                             obs=obs)
         self.weather = weather or ConstantWeather(
             self.config.outdoor.temp_c, self.config.outdoor.dew_point_c)
         self.plant = Plant(self.weather)
@@ -233,6 +235,7 @@ class BubbleZero:
             temp_c=comfort.preferred_temp_c,
             rh_percent=comfort.preferred_rh_percent,
             co2_ppm=comfort.co2_target_ppm))
+        supervisor.obs = self.sim.obs
         from repro.devices.boards import ControlC2, ControlV1, ControlV2
         for board in self.boards:
             board.supervisor = supervisor

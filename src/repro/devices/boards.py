@@ -43,6 +43,7 @@ from repro.devices.sensors import (
 from repro.net.medium import BroadcastMedium
 from repro.net.packet import DataType, Packet
 from repro.net.schedule import AcScheduleAdapter
+from repro.obs.events import TIER_TRANSITION
 from repro.physics.psychrometrics import dew_point
 from repro.sim.engine import Simulator, PRIORITY_CONTROL, PRIORITY_SENSING
 from repro.sim.process import PeriodicTask
@@ -82,6 +83,14 @@ class Board:
         self.max_staleness_s = 0.0
         self._last_good: Dict[Tuple[DataType, Tuple[Any, ...]],
                               Tuple[float, float]] = {}
+        # Current fallback tier per estimate (1 fresh / 2 widened /
+        # 3 last-good decay) and memoized human-readable labels, both
+        # keyed like _last_good.  Always maintained (two dict ops per
+        # control period); events only fire when observability is on.
+        self._estimate_tier: Dict[Tuple[DataType, Tuple[Any, ...]],
+                                  int] = {}
+        self._estimate_labels: Dict[Tuple[DataType, Tuple[Any, ...]],
+                                    str] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -161,13 +170,16 @@ class Board:
         if fresh:
             value = sum(fresh) / len(fresh)
             self._last_good[cache_key] = (value, now)
+            self._note_tier(cache_key, data_type, keys, 1)
             return value
         widened = bus.fresh_values(data_type, keys,
                                    self.WIDENED_STALE_AFTER_S)
         if widened:
             self.degraded_estimates += 1
+            self._note_tier(cache_key, data_type, keys, 2)
             return sum(widened) / len(widened)
         self.fallback_estimates += 1
+        self._note_tier(cache_key, data_type, keys, 3)
         last = self._last_good.get(cache_key)
         if last is None:
             return default
@@ -175,6 +187,39 @@ class Board:
         beyond = max(0.0, now - at - self.WIDENED_STALE_AFTER_S)
         weight = math.exp(-beyond / self.FALLBACK_DECAY_TAU_S)
         return default + (value - default) * weight
+
+    def _note_tier(self, cache_key, data_type: DataType, keys: List[Any],
+                   tier: int) -> None:
+        """Track the fallback tier of one estimate; emit on change."""
+        prev = self._estimate_tier.get(cache_key, 1)
+        if tier == prev:
+            return
+        self._estimate_tier[cache_key] = tier
+        obs = self.sim.obs
+        if obs.enabled:
+            label = self._estimate_labels.get(cache_key)
+            if label is None:
+                label = self._estimate_labels[cache_key] = (
+                    self._estimate_label(data_type, keys))
+            obs.events.emit(TIER_TRANSITION, self.sim.now,
+                            board=self.device_id, estimate=label,
+                            tier=tier, prev_tier=prev)
+            obs.metrics.counter("control.tier_transitions").inc()
+            obs.metrics.gauge(
+                f"control.board.{self.device_id}.fallback_tier").set(
+                    self.current_tier)
+
+    @staticmethod
+    def _estimate_label(data_type: DataType, keys: List[Any]) -> str:
+        """Readable estimate name, e.g. ``temperature/room``."""
+        groups = sorted({str(key[0]) if isinstance(key, (tuple, list))
+                         else str(key) for key in keys})
+        return data_type.name.lower() + "/" + "+".join(groups)
+
+    @property
+    def current_tier(self) -> int:
+        """Worst active fallback tier across this board's estimates."""
+        return max(self._estimate_tier.values(), default=1)
 
     def room_dew_point(self, subspace: int,
                        default_temp: float = 28.9,

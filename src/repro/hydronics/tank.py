@@ -48,6 +48,16 @@ class ColdWaterTank:
         """Temperature of water drawn from the tank (T_supp)."""
         return self.temp_c
 
+    def telemetry_snapshot(self) -> dict:
+        """Snapshot for the observability collector (JSON-safe)."""
+        return {
+            "temp_c": self.temp_c,
+            "setpoint_c": self.setpoint_c,
+            "energy_residual_j": self.energy_balance_residual_j(),
+            "heat_returned_j": self.heat_returned_j,
+            "chilling": self._chilling,
+        }
+
     def energy_balance_residual_j(self) -> float:
         """First-law residual: stored minus (in + ambient - chilled).
 

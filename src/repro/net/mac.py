@@ -88,6 +88,7 @@ class MacStats:
     backoffs: int = 0
     cca_failures: int = 0
     total_access_delay_s: float = 0.0
+    max_queue_depth: int = 0
 
     @property
     def mean_access_delay_s(self) -> float:
@@ -147,6 +148,9 @@ class CsmaMac:
             return False
         self.stats.enqueued += 1
         self._queue.append((packet, self.sim.now))
+        depth = len(self._queue)
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
         if not self._busy:
             self._start_next()
         return True

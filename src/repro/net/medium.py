@@ -26,6 +26,7 @@ from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
+from repro.obs.events import COLLISION_BURST
 from repro.sim.engine import Simulator, PRIORITY_NETWORK
 
 
@@ -190,6 +191,14 @@ class BroadcastMedium:
         self.activity_log = ChannelActivityLog()
         self.total_transmissions = 0
         self.total_collisions = 0
+        # Collision-burst tracking (observability).  The obs context is
+        # cached once — the Simulator owns it from construction — and the
+        # accumulators stay zero when disabled, so the clean delivery
+        # path only ever tests an int.
+        self._obs = sim.obs
+        self._burst_frames = 0
+        self._burst_start = 0.0
+        self._burst_end = 0.0
 
     # ------------------------------------------------------------------
     def attach_receiver(self, device_id: str,
@@ -275,7 +284,14 @@ class BroadcastMedium:
         reached = 0
         if tx.collided:
             self.total_collisions += 1
+            if self._obs.enabled:
+                if not self._burst_frames:
+                    self._burst_start = tx.start
+                self._burst_frames += 1
+                self._burst_end = tx.end
         else:
+            if self._burst_frames:
+                self._flush_burst()
             sender = tx.sender
             packet = tx.packet
             plan_key = (sender, packet.data_type)
@@ -328,6 +344,26 @@ class BroadcastMedium:
                 end=tx.end, collided=tx.collided, receivers_reached=reached)
             for sniffer in self._sniffers:
                 sniffer.log(record)
+
+    # Minimum run of consecutively collided frames that counts as a
+    # "burst" worth an event record; isolated collisions are routine
+    # CSMA behaviour and would drown the log.
+    BURST_MIN_FRAMES = 3
+
+    def _flush_burst(self) -> None:
+        """Close the current collision run; emit if it was a burst."""
+        if self._burst_frames >= self.BURST_MIN_FRAMES:
+            self._obs.events.emit(COLLISION_BURST, self._burst_end,
+                                  frames=self._burst_frames,
+                                  start=self._burst_start,
+                                  end=self._burst_end)
+            self._obs.metrics.counter("net.collision_bursts").inc()
+        self._burst_frames = 0
+
+    def flush_collision_burst(self) -> None:
+        """End-of-run hook: report a burst still open at the horizon."""
+        if self._burst_frames:
+            self._flush_burst()
 
     def _sender_entries(self, sender: str) -> List[Tuple[str, Callable,
                                                          object]]:

@@ -1,0 +1,78 @@
+"""Observability: metrics, structured events, sim-time profiling.
+
+The paper's evaluation is entirely observational — TelosB sniffer
+logs, flash-logged time series, send-period traces.  This package is
+the corresponding monitoring plane for the reproduction: a metrics
+registry with hierarchical names (:mod:`repro.obs.metrics`), a typed
+sim-timestamped event log (:mod:`repro.obs.events` /
+:mod:`repro.obs.schema`), a sim-time profiler hooked into the
+dispatcher (:mod:`repro.obs.profiler`), self-describing run manifests
+(:mod:`repro.obs.manifest`), and the collection/rendering layer behind
+``repro status`` (:mod:`repro.obs.collect`, :mod:`repro.obs.status`).
+
+The cardinal rule of every piece: **observation must not perturb the
+run**.  Nothing here draws from an RNG stream, schedules a simulator
+event, or changes dispatch order; with observability enabled the
+discrete log hash and trajectory fingerprints are bit-identical to a
+blind run (asserted by tests/test_obs_equivalence.py).  Disabled, the
+whole layer collapses to shared no-op singletons — zero allocation,
+one attribute check on the paths that matter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SimTimeProfiler
+
+
+class Observability:
+    """One run's observability context: registry + event log + profiler.
+
+    ``enabled`` gates the inline instrumentation sites (fault hooks,
+    tier transitions, conservative-mode latch, collision bursts);
+    ``profiler`` is None unless dispatch profiling was requested, so
+    the simulator's hot loop stays untouched when it is off.
+    """
+
+    __slots__ = ("enabled", "metrics", "events", "profiler")
+
+    def __init__(self, enabled: bool, metrics: MetricsRegistry,
+                 events: EventLog,
+                 profiler: Optional[SimTimeProfiler] = None) -> None:
+        self.enabled = enabled
+        self.metrics = metrics
+        self.events = events
+        self.profiler = profiler
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        prof = ", profiled" if self.profiler is not None else ""
+        return f"Observability({state}{prof})"
+
+
+def create_observability(profile: bool = True,
+                         profile_stride: int = 16) -> Observability:
+    """A fresh enabled context (one per run; contexts are not shared)."""
+    profiler = SimTimeProfiler(stride=profile_stride) if profile else None
+    return Observability(True, MetricsRegistry(enabled=True),
+                         EventLog(enabled=True), profiler)
+
+
+#: Shared disabled context — the default of every ``Simulator``.  All
+#: of its methods are no-ops, so instrumented code never needs a None
+#: check, and because it is a module-level singleton the disabled path
+#: allocates nothing per run.
+NULL_OBS = Observability(False, MetricsRegistry(enabled=False),
+                         EventLog(enabled=False), None)
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "create_observability",
+    "EventLog",
+    "MetricsRegistry",
+    "SimTimeProfiler",
+]

@@ -1,0 +1,228 @@
+"""Metrics registry: counters, gauges and bounded histograms.
+
+Hierarchical dotted names (``net.mac.retransmits``,
+``control.board.control-c2.fallback_tier``,
+``hydronics.tank.radiant.energy_residual_j``) map to one of three
+instrument kinds:
+
+* **Counter** — monotonically increasing count of occurrences;
+* **Gauge** — last-written value of a quantity that moves both ways;
+* **Histogram** — counts over a fixed, bounded set of bucket edges
+  plus count/sum/min/max (bounded so a multi-hour run cannot grow the
+  registry without limit — there is no per-sample storage).
+
+A disabled registry hands out shared no-op singletons: requesting an
+instrument allocates nothing and every update is a single method call
+that does nothing, so instrumented code never branches on enablement.
+
+Snapshots are plain JSON-serialisable dicts; :func:`diff_snapshots`
+subtracts two of them, which is how "what did this phase cost" queries
+are answered without resetting anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+SnapshotValue = Union[int, float, Dict[str, object]]
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only move forward")
+        self.value += n
+
+
+class Gauge:
+    """Last-written value of a two-way quantity."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Bucketed distribution over fixed edges (no per-sample storage).
+
+    ``edges`` are the upper bounds of the finite buckets; one implicit
+    overflow bucket catches everything beyond the last edge.
+    """
+
+    __slots__ = ("edges", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        edges = [float(e) for e in edges]
+        if not edges:
+            raise ValueError("a histogram needs at least one bucket edge")
+        if sorted(edges) != edges or len(set(edges)) != len(edges):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.edges = edges
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        i = 0
+        for edge in self.edges:
+            if value <= edge:
+                break
+            i += 1
+        self.bucket_counts[i] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+# Default histogram edges: generous log-ish spread suiting both queue
+# depths (small integers) and send periods (seconds up to minutes).
+DEFAULT_EDGES = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store with a zero-cost disabled mode."""
+
+    __slots__ = ("enabled", "_instruments")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER  # type: ignore[return-value]
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE  # type: ignore[return-value]
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_EDGES) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = Histogram(edges)
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"metric {name!r} is already a "
+                            f"{type(instrument).__name__}")
+        return instrument
+
+    def _get(self, name: str, cls) -> object:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = cls()
+        elif not isinstance(instrument, cls):
+            raise TypeError(f"metric {name!r} is already a "
+                            f"{type(instrument).__name__}")
+        return instrument
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, SnapshotValue]:
+        """All instrument values, keyed by name, JSON-serialisable."""
+        out: Dict[str, SnapshotValue] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.to_dict()
+            else:
+                out[name] = instrument.value  # type: ignore[union-attr]
+        return out
+
+
+def diff_snapshots(before: Dict[str, SnapshotValue],
+                   after: Dict[str, SnapshotValue]
+                   ) -> Dict[str, SnapshotValue]:
+    """What changed between two snapshots of the same registry.
+
+    Numeric values subtract; histogram dicts subtract bucket-wise (min
+    and max are taken from ``after`` — deltas are meaningless for
+    them).  Names absent from ``before`` count from zero.  The result
+    only contains names whose value actually changed.
+    """
+    out: Dict[str, SnapshotValue] = {}
+    for name, now in after.items():
+        prev = before.get(name)
+        if isinstance(now, dict):
+            prev_counts = (prev.get("bucket_counts")
+                           if isinstance(prev, dict) else None)
+            if prev_counts is None:
+                prev_counts = [0] * len(now["bucket_counts"])
+            delta_counts = [int(a) - int(b) for a, b
+                            in zip(now["bucket_counts"], prev_counts)]
+            prev_count = prev.get("count", 0) if isinstance(prev, dict) else 0
+            prev_sum = prev.get("sum", 0.0) if isinstance(prev, dict) else 0.0
+            if int(now["count"]) == prev_count:
+                continue
+            out[name] = {
+                "edges": list(now["edges"]),
+                "bucket_counts": delta_counts,
+                "count": int(now["count"]) - int(prev_count),
+                "sum": float(now["sum"]) - float(prev_sum),
+                "min": now["min"],
+                "max": now["max"],
+            }
+        else:
+            base = prev if isinstance(prev, (int, float)) else 0
+            delta = now - base
+            if delta:
+                out[name] = delta
+    return out

@@ -1,0 +1,150 @@
+"""The documented contract of every event record.
+
+One entry per event kind: which fields must be present (and their
+types) and which may be.  The CI telemetry step, the ``repro status
+--validate`` flag and the observability tests all validate against
+this module, so an emitter drifting from the documented shape fails
+loudly in three places.
+
+``t`` is the simulation timestamp.  Worker lifecycle events carry
+``t: null`` — they happen in wall time in the pool, outside any
+simulator — which is the only place a null timestamp is legal.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs import events as ev
+
+SCHEMA_VERSION = 1
+
+_NUM = (int, float)
+_NULLABLE_NUM = (int, float, type(None))
+
+# kind -> (required fields, optional fields); values are type tuples.
+# ``run`` is attached by the telemetry writer (which run of a campaign
+# or sweep emitted the record), hence optional everywhere.
+EVENT_SCHEMA: Dict[str, Tuple[Dict[str, tuple], Dict[str, tuple]]] = {
+    ev.FAULT_INJECTED: (
+        {"t": _NUM, "fault": (str,), "device": (str,)},
+        {"value": _NUM, "offset": _NUM, "duty": _NUM, "until": _NULLABLE_NUM,
+         "end": _NUM, "run": (str,)},
+    ),
+    ev.FAULT_CLEARED: (
+        {"t": _NUM, "fault": (str,), "device": (str,)},
+        {"run": (str,)},
+    ),
+    ev.TIER_TRANSITION: (
+        {"t": _NUM, "board": (str,), "estimate": (str,), "tier": (int,),
+         "prev_tier": (int,)},
+        {"run": (str,)},
+    ),
+    ev.CONSERVATIVE_LATCHED: (
+        {"t": _NUM},
+        {"run": (str,)},
+    ),
+    ev.CONSERVATIVE_RELEASED: (
+        {"t": _NUM, "held_s": _NUM},
+        {"run": (str,)},
+    ),
+    ev.COLLISION_BURST: (
+        {"t": _NUM, "frames": (int,), "start": _NUM, "end": _NUM},
+        {"run": (str,)},
+    ),
+    ev.WORKER_STARTED: (
+        {"t": (type(None),), "run": (str,), "index": (int,),
+         "attempt": (int,)},
+        {},
+    ),
+    ev.WORKER_FINISHED: (
+        {"t": (type(None),), "run": (str,), "index": (int,),
+         "attempt": (int,)},
+        {"wall_s": _NUM},
+    ),
+    ev.WORKER_RETRIED: (
+        {"t": (type(None),), "run": (str,), "index": (int,),
+         "attempt": (int,)},
+        {"detail": (str,)},
+    ),
+    ev.WORKER_FAILED: (
+        {"t": (type(None),), "run": (str,), "index": (int,),
+         "attempt": (int,)},
+        {"detail": (str,), "wall_s": _NUM},
+    ),
+}
+
+
+def validate_event(record: Dict[str, object]) -> List[str]:
+    """Problems with one record against the schema; empty when valid.
+
+    Strict on both sides: a missing or mistyped required field is an
+    error, and so is any field the schema does not document — every
+    emitter in the tree is ours, so an undocumented field is schema
+    drift, not extensibility.
+    """
+    kind = record.get("kind")
+    if not isinstance(kind, str) or kind not in EVENT_SCHEMA:
+        return [f"unknown event kind {kind!r}"]
+    required, optional = EVENT_SCHEMA[kind]
+    problems: List[str] = []
+    for field, types in required.items():
+        if field not in record:
+            problems.append(f"{kind}: missing required field {field!r}")
+        elif not _typecheck(record[field], types):
+            problems.append(
+                f"{kind}: field {field!r} has type "
+                f"{type(record[field]).__name__}, expected "
+                f"{_type_names(types)}")
+    for field, value in record.items():
+        if field == "kind" or field in required:
+            continue
+        if field not in optional:
+            problems.append(f"{kind}: undocumented field {field!r}")
+        elif not _typecheck(value, optional[field]):
+            problems.append(
+                f"{kind}: field {field!r} has type "
+                f"{type(value).__name__}, expected "
+                f"{_type_names(optional[field])}")
+    return problems
+
+
+def validate_records(records: Iterable[Dict[str, object]]) -> List[str]:
+    """All problems across ``records``, prefixed with record indices."""
+    problems: List[str] = []
+    for i, record in enumerate(records):
+        problems.extend(f"record {i}: {problem}"
+                        for problem in validate_event(record))
+    return problems
+
+
+def validate_jsonl(text: str) -> List[str]:
+    """Validate JSONL telemetry text line by line."""
+    problems: List[str] = []
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i + 1}: not valid JSON ({exc.msg})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {i + 1}: not a JSON object")
+            continue
+        problems.extend(f"line {i + 1}: {problem}"
+                        for problem in validate_event(record))
+    return problems
+
+
+def _typecheck(value: object, types: tuple) -> bool:
+    # bool is an int subclass; an event field documented as numeric
+    # must still reject True/False.
+    if isinstance(value, bool):
+        return bool in types
+    return isinstance(value, types)
+
+
+def _type_names(types: tuple) -> str:
+    return "|".join(t.__name__ for t in types)

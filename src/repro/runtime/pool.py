@@ -41,6 +41,7 @@ from collections import deque
 from multiprocessing.connection import wait as _connection_wait
 from typing import List, Optional, Sequence, Union
 
+from repro.obs.events import EventLog, worker_record
 from repro.runtime.progress import (
     FAILED,
     FINISHED,
@@ -73,7 +74,8 @@ def run_specs(specs: Sequence[RunSpec],
               timeout_s: Optional[float] = None,
               retries: int = 1,
               progress: Optional[ProgressCallback] = None,
-              start_method: str = DEFAULT_START_METHOD
+              start_method: str = DEFAULT_START_METHOD,
+              obs_events: Optional[EventLog] = None
               ) -> List[RunPayload]:
     """Execute every spec; return payloads in spec order.
 
@@ -82,6 +84,12 @@ def run_specs(specs: Sequence[RunSpec],
     bounded retries were exhausted — the list is always complete, never
     partial, and ``run_specs`` never hangs on a dead or stuck worker
     (given a ``timeout_s`` for the stuck case).
+
+    ``obs_events`` tees every worker lifecycle transition (started /
+    finished / retried / failed) into an observability event log in
+    addition to the ``progress`` callback.  The log records arrival
+    order; serialise it through
+    :func:`repro.obs.events.sort_worker_records` for artifacts.
     """
     specs = list(specs)
     if not specs:
@@ -91,10 +99,24 @@ def run_specs(specs: Sequence[RunSpec],
     if workers is None:
         workers = default_worker_count(len(specs))
     workers = max(1, min(workers, len(specs)))
+    if obs_events is not None:
+        progress = _tee_progress(progress, obs_events)
     if workers == 1:
         return _run_serial(specs, progress)
     return _run_pooled(specs, workers, timeout_s, retries, progress,
                        start_method)
+
+
+def _tee_progress(progress: Optional[ProgressCallback],
+                  obs_events: EventLog) -> ProgressCallback:
+    """Wrap ``progress`` so every event also lands in ``obs_events``."""
+    def tee(event: ProgressEvent) -> None:
+        record = worker_record(event)
+        kind = record.pop("kind")
+        t = record.pop("t")
+        obs_events.emit(kind, t, **record)
+        emit(progress, event)
+    return tee
 
 
 def _run_serial(specs: List[RunSpec],

@@ -38,6 +38,20 @@ class ProgressEvent:
 ProgressCallback = Callable[[ProgressEvent], None]
 
 
+def _default_write(line: str) -> None:
+    """Write one progress line to stdout and flush immediately.
+
+    Resolves ``sys.stdout`` at call time (not at printer construction)
+    so output still lands correctly under pytest's capture swaps or a
+    caller re-binding stdout mid-campaign, and flushes per event so a
+    pipe or CI log shows progress live rather than on buffer fill.
+    """
+    import sys
+    stream = sys.stdout
+    stream.write(line + "\n")
+    stream.flush()
+
+
 class ProgressPrinter:
     """Render pool progress as counter-prefixed terminal lines."""
 
@@ -45,7 +59,7 @@ class ProgressPrinter:
                  write: Optional[Callable[[str], None]] = None) -> None:
         self.total = total
         self.done = 0
-        self._write = write or (lambda line: print(line, flush=True))
+        self._write = write or _default_write
 
     def __call__(self, event: ProgressEvent) -> None:
         if event.kind == STARTED:

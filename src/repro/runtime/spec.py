@@ -66,6 +66,10 @@ class RunSpec:
     # before the run starts ("delay:S", "hang", "crash",
     # "crash-below-attempt:N", "raise").  Never set by production code.
     inject: Optional[str] = None
+    # Attach an observability context to the run and ship its payload
+    # back on RunResult.obs.  Off by default: telemetry is opt-in per
+    # campaign/sweep/bench invocation (--telemetry).
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.script not in SCRIPT_BUILDERS:
@@ -90,6 +94,10 @@ class RunResult:
     sim_s: float
     events: int
     clearance_time: Optional[float] = None
+    # Observability payload (events/metrics/health/profile) when the
+    # spec requested telemetry; None otherwise.  Plain JSON-safe dicts,
+    # so the result stays picklable under spawn.
+    obs: Optional[Dict[str, object]] = None
 
 
 @dataclass(frozen=True)
@@ -168,8 +176,12 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> RunResult:
     from repro.core.system import BubbleZero
 
     _apply_injection(spec.inject, attempt)
+    obs = None
+    if spec.telemetry:
+        from repro.obs import create_observability
+        obs = create_observability()
     t0 = time.perf_counter()
-    system = BubbleZero(spec.config)
+    system = BubbleZero(spec.config, obs=obs)
     start = system.sim.now
     horizon_s = spec.run_minutes * 60.0
     script = SCRIPT_BUILDERS[spec.script](start, horizon_s)
@@ -186,6 +198,10 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> RunResult:
     system.finalize()
     outcome = summarize_run(system, spec.label, clearance_time=clearance,
                             warmup_s=spec.warmup_minutes * 60.0)
+    obs_data = None
+    if obs is not None:
+        from repro.obs.collect import obs_payload
+        obs_data = obs_payload(system, obs)
     return RunResult(
         label=spec.label,
         outcome=outcome,
@@ -195,6 +211,7 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> RunResult:
         sim_s=horizon_s,
         events=system.sim.events_dispatched,
         clearance_time=clearance,
+        obs=obs_data,
     )
 
 

@@ -92,9 +92,20 @@ class TraceRecorder:
         return [self._series[name] for name in self.names()
                 if name.startswith(prefix)]
 
-    def summary(self) -> Dict[str, int]:
-        """Map of series name to sample count (for diagnostics)."""
-        return {name: len(series) for name, series in self._series.items()}
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-series sample count and first/last sample times.
+
+        The first/last timestamps let a liveness view (``repro
+        status``) compute how long each sender has been silent without
+        touching the raw arrays.  Empty series report ``None`` times.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name, series in self._series.items():
+            first = series._times[0] if series._times else None
+            last = series._times[-1] if series._times else None
+            out[name] = {"count": len(series), "first_t": first,
+                         "last_t": last}
+        return out
 
 
 def resample(times: Iterable[float], values: Iterable[float],

@@ -34,6 +34,8 @@ from repro.analysis.degradation import (
     compare_outcomes,
     is_graceful,
 )
+from repro.obs.events import EventLog
+from repro.obs.manifest import build_manifest
 from repro.runtime.pool import RunPayload, run_specs
 from repro.runtime.progress import STARTED, ProgressEvent
 from repro.runtime.spec import RunFailure, RunSpec, shift_fault
@@ -113,10 +115,15 @@ class CampaignResult:
     baseline_hash: str
     cells: List[CellResult] = field(default_factory=list)
     failures: List[RunFailure] = field(default_factory=list)
+    # Provenance block (repro.obs.manifest).  Deterministic within a
+    # checkout, so it preserves the serial-vs-pooled byte identity of
+    # the report.
+    manifest: Optional[Dict[str, object]] = None
 
     def report_dict(self) -> Dict[str, object]:
         """Deterministic, JSON-serialisable campaign report."""
         return {
+            "manifest": self.manifest,
             "seed": self.seed,
             "run_minutes": self.run_minutes,
             "warmup_minutes": self.warmup_minutes,
@@ -269,7 +276,8 @@ class CampaignExecutionError(RuntimeError):
             f"{failure.attempts} attempt(s)): {failure.message}")
 
 
-def campaign_specs(config: CampaignConfig) -> List[RunSpec]:
+def campaign_specs(config: CampaignConfig,
+                   telemetry: bool = False) -> List[RunSpec]:
     """The campaign as an ordered spec list: baseline first, then one
     spec per cell, every spec fully independent and picklable."""
     from repro.core.config import BubbleZeroConfig
@@ -277,12 +285,14 @@ def campaign_specs(config: CampaignConfig) -> List[RunSpec]:
     base_config = BubbleZeroConfig(seed=config.seed)
     specs = [RunSpec(label="baseline", config=base_config,
                      run_minutes=config.run_minutes,
-                     warmup_minutes=config.warmup_minutes)]
+                     warmup_minutes=config.warmup_minutes,
+                     telemetry=telemetry)]
     for cell in config.cells:
         specs.append(RunSpec(label=cell.name, config=base_config,
                              faults=tuple(cell.faults),
                              run_minutes=config.run_minutes,
-                             warmup_minutes=config.warmup_minutes))
+                             warmup_minutes=config.warmup_minutes,
+                             telemetry=telemetry))
     return specs
 
 
@@ -322,10 +332,25 @@ def merge_campaign(config: CampaignConfig,
     return result
 
 
+def campaign_manifest(config: CampaignConfig) -> Dict[str, object]:
+    """Provenance block for a campaign report or telemetry directory."""
+    return build_manifest(
+        command="campaign",
+        config_dict={
+            "seed": config.seed,
+            "run_minutes": config.run_minutes,
+            "warmup_minutes": config.warmup_minutes,
+            "cells": [cell.name for cell in config.cells],
+        },
+        seed=config.seed,
+        extra={"cells": [cell.name for cell in config.cells]})
+
+
 def run_campaign(config: CampaignConfig,
                  progress: Optional[Callable[[str], None]] = None,
                  workers: int = 1,
-                 timeout_s: Optional[float] = None) -> CampaignResult:
+                 timeout_s: Optional[float] = None,
+                 telemetry_dir: Optional[str] = None) -> CampaignResult:
     """Run baseline plus every cell; score each against the baseline.
 
     ``workers=1`` executes in-process; ``workers=N`` fans the
@@ -334,8 +359,15 @@ def run_campaign(config: CampaignConfig,
     results.  ``progress`` receives one human-readable line as each
     run *starts* (submission order when serial, dispatch order when
     pooled).
+
+    ``telemetry_dir`` enables per-run observability (events, metrics,
+    health, dispatch profile) and writes the artifact directory
+    described in :mod:`repro.obs.status` after the merge.  Telemetry
+    never perturbs a run: scores and hashes are identical with it on
+    or off.
     """
-    specs = campaign_specs(config)
+    telemetry = telemetry_dir is not None
+    specs = campaign_specs(config, telemetry=telemetry)
 
     def describe(event: ProgressEvent) -> None:
         if progress is None or event.kind != STARTED or event.attempt:
@@ -347,6 +379,19 @@ def run_campaign(config: CampaignConfig,
             cell = config.cells[event.index - 1]
             progress(f"cell {cell.name}: {cell.describe()}")
 
+    pool_events = EventLog(enabled=True) if telemetry else None
     payloads = run_specs(specs, workers=workers, timeout_s=timeout_s,
-                         progress=describe)
-    return merge_campaign(config, payloads)
+                         progress=describe, obs_events=pool_events)
+    result = merge_campaign(config, payloads)
+    result.manifest = campaign_manifest(config)
+    if telemetry:
+        from repro.obs.status import write_run_telemetry
+        obs_payloads = {
+            payload.label: payload.obs
+            for payload in payloads
+            if not isinstance(payload, RunFailure)
+        }
+        write_run_telemetry(telemetry_dir, result.manifest,
+                            [spec.label for spec in specs], obs_payloads,
+                            pool_events.records)
+    return result

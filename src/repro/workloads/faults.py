@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 from repro.net.packet import DataType, Packet
+from repro.obs.events import FAULT_CLEARED, FAULT_INJECTED
 from repro.sim.engine import PRIORITY_NETWORK
 
 
@@ -161,25 +162,55 @@ class FaultScript:
                 node = _find_node(system, fault.device_id)
                 system.sim.schedule_at(
                     fault.time,
-                    lambda n=node, f=fault: n.sensor.fail_stuck(f.value),
+                    lambda n=node, f=fault: (
+                        n.sensor.fail_stuck(f.value),
+                        _emit_fault(system, "stuck", n.device_id,
+                                    value=f.value, until=f.until)),
                     name=f"fault-stuck/{fault.device_id}")
-                _schedule_recovery(system, node, fault.until)
+                _schedule_recovery(system, node, fault.until, "stuck")
             elif isinstance(fault, SensorDrift):
                 node = _find_node(system, fault.device_id)
                 system.sim.schedule_at(
                     fault.time,
-                    lambda n=node, f=fault: n.sensor.fail_drift(f.offset),
+                    lambda n=node, f=fault: (
+                        n.sensor.fail_drift(f.offset),
+                        _emit_fault(system, "drift", n.device_id,
+                                    offset=f.offset, until=f.until)),
                     name=f"fault-drift/{fault.device_id}")
-                _schedule_recovery(system, node, fault.until)
+                _schedule_recovery(system, node, fault.until, "drift")
             elif isinstance(fault, NodeCrash):
                 node = _find_node(system, fault.device_id)
                 system.sim.schedule_at(
-                    fault.time, node.crash,
+                    fault.time,
+                    lambda n=node: (n.crash(),
+                                    _emit_fault(system, "crash",
+                                                n.device_id)),
                     name=f"fault-crash/{fault.device_id}")
             elif isinstance(fault, ChannelJam):
                 _schedule_jam(system, fault)
             else:  # pragma: no cover - the Union is exhaustive
                 raise TypeError(f"unknown fault: {fault!r}")
+
+
+def _emit_fault(system, kind: str, device_id: str, **fields) -> None:
+    """Record a fault injection on the system's event log (if enabled).
+
+    Called from inside the already-scheduled fault callbacks, so it
+    adds no simulator events and draws no randomness — observability
+    must never perturb the run it observes.
+    """
+    obs = system.sim.obs
+    if obs.enabled:
+        obs.events.emit(FAULT_INJECTED, system.sim.now, fault=kind,
+                        device=device_id, **fields)
+        obs.metrics.counter("workload.faults_injected").inc()
+
+
+def _emit_clearance(system, kind: str, device_id: str) -> None:
+    obs = system.sim.obs
+    if obs.enabled:
+        obs.events.emit(FAULT_CLEARED, system.sim.now, fault=kind,
+                        device=device_id)
 
 
 def _find_node(system, device_id: str):
@@ -189,11 +220,15 @@ def _find_node(system, device_id: str):
     raise LookupError(f"no bt-device called {device_id!r}")
 
 
-def _schedule_recovery(system, node, until: Optional[float]) -> None:
+def _schedule_recovery(system, node, until: Optional[float],
+                       kind: str) -> None:
     if until is None:
         return
-    system.sim.schedule_at(until, node.sensor.recover,
-                           name=f"fault-clear/{node.device_id}")
+    system.sim.schedule_at(
+        until,
+        lambda n=node: (n.sensor.recover(),
+                        _emit_clearance(system, kind, n.device_id)),
+        name=f"fault-clear/{node.device_id}")
 
 
 JAM_BURST_PAYLOAD = 100  # near-maximal frames: ~3.7 ms of airtime each
@@ -211,6 +246,10 @@ def _schedule_jam(system, jam: ChannelJam) -> None:
 
     def burst(at: float) -> None:
         if at >= jam.end:
+            # A run ending before jam.end never reaches this branch;
+            # its telemetry shows the injection without a clearance,
+            # which is accurate — the jam never ended.
+            _emit_clearance(system, "jam", "channel")
             return
         packet = Packet(data_type=DataType.TEMPERATURE, source="jammer",
                         created_at=sim.now, payload={"jam": True},
@@ -219,5 +258,9 @@ def _schedule_jam(system, jam: ChannelJam) -> None:
         sim.schedule_at(at + interval, lambda: burst(at + interval),
                         priority=PRIORITY_NETWORK, name="jam-burst")
 
-    sim.schedule_at(jam.start, lambda: burst(jam.start),
+    def start() -> None:
+        _emit_fault(system, "jam", "channel", duty=jam.duty, end=jam.end)
+        burst(jam.start)
+
+    sim.schedule_at(jam.start, start,
                     priority=PRIORITY_NETWORK, name="jam-start")

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import BubbleZeroConfig, NetworkConfig
+from repro.obs.events import EventLog
+from repro.obs.manifest import build_manifest
 from repro.runtime.pool import RunPayload
 from repro.runtime.spec import RunFailure, RunResult, RunSpec
 
@@ -53,6 +55,9 @@ class SweepResult:
     config: SweepConfig
     runs: List[RunResult] = field(default_factory=list)
     failures: List[RunFailure] = field(default_factory=list)
+    # Provenance block (repro.obs.manifest); deterministic within a
+    # checkout, so serial-vs-pooled byte identity is preserved.
+    manifest: Optional[Dict[str, object]] = None
 
     @property
     def aggregates(self) -> Dict[str, Dict[str, float]]:
@@ -61,6 +66,7 @@ class SweepResult:
     def report_dict(self) -> Dict[str, object]:
         """Deterministic, JSON-serialisable sweep report."""
         return {
+            "manifest": self.manifest,
             "seeds": list(self.config.seeds),
             "run_minutes": self.config.run_minutes,
             "warmup_minutes": self.config.warmup_minutes,
@@ -81,7 +87,8 @@ class SweepResult:
         }
 
 
-def sweep_specs(config: SweepConfig) -> List[RunSpec]:
+def sweep_specs(config: SweepConfig,
+                telemetry: bool = False) -> List[RunSpec]:
     """One spec per seed, in the configured seed order."""
     network = NetworkConfig(
         enabled=not config.direct,
@@ -91,9 +98,25 @@ def sweep_specs(config: SweepConfig) -> List[RunSpec]:
                 config=BubbleZeroConfig(seed=seed, network=network),
                 script=config.script,
                 run_minutes=config.run_minutes,
-                warmup_minutes=config.warmup_minutes)
+                warmup_minutes=config.warmup_minutes,
+                telemetry=telemetry)
         for seed in config.seeds
     ]
+
+
+def sweep_manifest(config: SweepConfig) -> Dict[str, object]:
+    """Provenance block for a sweep report or telemetry directory."""
+    return build_manifest(
+        command="sweep",
+        config_dict={
+            "seeds": list(config.seeds),
+            "run_minutes": config.run_minutes,
+            "warmup_minutes": config.warmup_minutes,
+            "script": config.script,
+            "direct": config.direct,
+            "fixed_tx": config.fixed_tx,
+        },
+        seed=config.seeds[0])
 
 
 def merge_sweep(config: SweepConfig,
@@ -146,11 +169,33 @@ def aggregate_metrics(rows: Sequence[Dict[str, float]]
 def run_sweep(config: SweepConfig,
               workers: int = 1,
               timeout_s: Optional[float] = None,
-              progress=None) -> SweepResult:
+              progress=None,
+              telemetry_dir: Optional[str] = None) -> SweepResult:
     """Execute the sweep; see :func:`repro.runtime.pool.run_specs` for
-    the worker/timeout/retry semantics."""
+    the worker/timeout/retry semantics.
+
+    ``telemetry_dir`` enables per-replicate observability and writes
+    the artifact directory described in :mod:`repro.obs.status`;
+    metrics and hashes are identical with telemetry on or off.
+    """
     from repro.runtime.pool import run_specs
 
-    payloads = run_specs(sweep_specs(config), workers=workers,
-                         timeout_s=timeout_s, progress=progress)
-    return merge_sweep(config, payloads)
+    telemetry = telemetry_dir is not None
+    specs = sweep_specs(config, telemetry=telemetry)
+    pool_events = EventLog(enabled=True) if telemetry else None
+    payloads = run_specs(specs, workers=workers,
+                         timeout_s=timeout_s, progress=progress,
+                         obs_events=pool_events)
+    result = merge_sweep(config, payloads)
+    result.manifest = sweep_manifest(config)
+    if telemetry:
+        from repro.obs.status import write_run_telemetry
+        obs_payloads = {
+            payload.label: payload.obs
+            for payload in payloads
+            if not isinstance(payload, RunFailure)
+        }
+        write_run_telemetry(telemetry_dir, result.manifest,
+                            [spec.label for spec in specs], obs_payloads,
+                            pool_events.records)
+    return result

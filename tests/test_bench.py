@@ -29,6 +29,14 @@ class TestDomainMismatches:
     def test_missing_key_counts_as_mismatch(self):
         assert bench.domain_mismatches({"events": 1}, {}) != []
 
+    def test_obs_payload_subtree_is_ignored(self):
+        # Telemetry payloads carry wall-clock profile samples that
+        # differ between otherwise identical runs.
+        first = {"events": 100}
+        other = {"events": 100,
+                 "obs_payload": {"profile": {"est_wall_s": 1.23}}}
+        assert bench.domain_mismatches(first, other) == []
+
 
 class TestRunBestOf:
     def _install_stub(self, monkeypatch, walls, domain_value=42):

@@ -35,6 +35,25 @@ class TestTraceSeries:
         assert series.value_at(10.0) == 2.0
         assert series.value_at(99.0) == 2.0
 
+    def test_value_at_exact_boundaries(self):
+        # A lookup exactly on a sample time must return that sample,
+        # including the very first one.
+        series = TraceSeries("x")
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        series.append(3.0, 30.0)
+        assert series.value_at(1.0) == 10.0
+        assert series.value_at(2.0) == 20.0
+        assert series.value_at(3.0) == 30.0
+
+    def test_value_at_single_sample(self):
+        series = TraceSeries("x")
+        series.append(5.0, 42.0)
+        assert series.value_at(5.0) == 42.0
+        assert series.value_at(1e9) == 42.0
+        with pytest.raises(LookupError):
+            series.value_at(4.999)
+
     def test_value_at_before_first_sample_raises(self):
         series = TraceSeries("x")
         series.append(5.0, 1.0)
@@ -52,6 +71,29 @@ class TestTraceSeries:
         times, values = series.window(2.0, 5.0)
         assert list(times) == [2.0, 3.0, 4.0, 5.0]
         assert list(values) == [4.0, 9.0, 16.0, 25.0]
+
+    def test_window_boundaries_inclusive(self):
+        # Both endpoints are inclusive; a window collapsing to a single
+        # sample time returns exactly that sample.
+        series = TraceSeries("x")
+        series.append(1.0, 10.0)
+        series.append(2.0, 20.0)
+        times, values = series.window(1.0, 2.0)
+        assert list(times) == [1.0, 2.0]
+        times, values = series.window(2.0, 2.0)
+        assert list(times) == [2.0]
+        assert list(values) == [20.0]
+
+    def test_window_single_sample_and_empty(self):
+        series = TraceSeries("x")
+        series.append(5.0, 42.0)
+        times, values = series.window(5.0, 5.0)
+        assert list(times) == [5.0]
+        times, values = series.window(6.0, 9.0)
+        assert list(times) == []
+        empty = TraceSeries("y")
+        times, values = empty.window(0.0, 1.0)
+        assert list(times) == []
 
 
 class TestTraceRecorder:
@@ -72,7 +114,14 @@ class TestTraceRecorder:
         recorder = TraceRecorder()
         recorder.record("x", 0.0, 1.0)
         recorder.record("x", 1.0, 1.0)
-        assert recorder.summary() == {"x": 2}
+        assert recorder.summary() == {
+            "x": {"count": 2, "first_t": 0.0, "last_t": 1.0}}
+
+    def test_summary_empty_series(self):
+        recorder = TraceRecorder()
+        recorder.series("empty")
+        assert recorder.summary() == {
+            "empty": {"count": 0, "first_t": None, "last_t": None}}
 
 
 class TestResample:
