@@ -19,12 +19,11 @@ loss instead of severing the control loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.analysis.metrics import recovery_time
-from repro.core.plant import PANEL_SUBSPACES
 from repro.physics.exergy import cooling_exergy
 from repro.sim.tracing import resample
 
@@ -114,9 +113,10 @@ def summarize_run(system, label: str,
     outcome = RunOutcome(label=label, elapsed_s=system.sim.clock.elapsed,
                          preferred_temp_c=preferred)
 
+    n_zones = len(system.plant.room.subspaces)
     temp_series = {}
     dew_series = {}
-    for i in range(4):
+    for i in range(n_zones):
         serie = trace.series(f"subspace/{i}/temp")
         temp_series[i] = (serie.times(), serie.values())
         serie = trace.series(f"subspace/{i}/dew")
@@ -134,7 +134,7 @@ def summarize_run(system, label: str,
     # Dew-point margin: minutes a panel's surface sat at or below the
     # highest dew point among its served subspaces (condensation risk,
     # zero-margin accounting; the controller aims for +0.8 K).
-    for p, served in enumerate(PANEL_SUBSPACES):
+    for p, served in enumerate(system.plant.topology.panel_zones):
         serie = trace.series(f"panel/{p}/surface")
         times, surface = serie.times(), serie.values()
         if times.size == 0:
@@ -167,7 +167,8 @@ def summarize_run(system, label: str,
         grid = temp_series[0][0]
         if grid.size:
             mean_temp = np.mean(
-                [resample(*temp_series[i], grid) for i in range(4)], axis=0)
+                [resample(*temp_series[i], grid) for i in range(n_zones)],
+                axis=0)
             outcome.recovery_s = recovery_time(
                 grid, mean_temp, preferred, comfort_band_k,
                 disturbance_at=clearance_time)

@@ -64,7 +64,7 @@ def trajectory_fingerprint(system,
         "stride": np.asarray(stride),
     }
     names = ["tank/18C", "tank/8C"]
-    for i in range(4):
+    for i in range(len(system.plant.room.subspaces)):
         names += [f"subspace/{i}/temp", f"subspace/{i}/dew",
                   f"subspace/{i}/co2"]
     for name in names:

@@ -28,22 +28,16 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.analysis.fingerprint import discrete_log_hash
-from repro.core.config import BubbleZeroConfig, NetworkConfig
-from repro.core.system import BubbleZero
-from repro.sim.clock import parse_clock
-from repro.workloads.events import (
-    paper_phase_two_events,
-    periodic_disturbance_events,
-)
+from dataclasses import replace
 
-START_CLOCK = "13:00"
+from repro.analysis.fingerprint import discrete_log_hash
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import prepare_run
 
 # Simulated horizons of the two trials, seconds.
 HVAC_SIM_S = (40 + 20 + 45) * 60.0
@@ -65,28 +59,28 @@ OBS_OVERHEAD_BUDGET_PCT = 3.0
 OBS_CHUNK_S = 60.0
 
 
-def _build_hvac(macro: bool, obs=None):
+# Registry scenarios behind each bench trial; the benchmark is the
+# registered experiment with only the physics path swapped.
+_SCENARIOS = {"hvac": "paper-va", "network": "paper-vc"}
+
+
+def _build_trial(name: str, macro: bool, obs=None):
     from repro.physics import psychrometrics
 
     psychrometrics.cache_clear()
-    config = BubbleZeroConfig(seed=7, physics_macro_step=macro)
-    system = BubbleZero(config, obs=obs)
-    system.schedule_script(paper_phase_two_events())
-    return system, HVAC_SIM_S
+    spec = get_scenario(_SCENARIOS[name])
+    spec = replace(spec, config=replace(spec.config,
+                                        physics_macro_step=macro))
+    system, _ = prepare_run(spec, obs=obs)
+    return system, spec.run_minutes * 60.0
+
+
+def _build_hvac(macro: bool, obs=None):
+    return _build_trial("hvac", macro, obs=obs)
 
 
 def _build_network(macro: bool, obs=None):
-    from repro.physics import psychrometrics
-
-    psychrometrics.cache_clear()
-    config = BubbleZeroConfig(
-        seed=7, physics_macro_step=macro,
-        network=NetworkConfig(bt_mode="adaptive"))
-    system = BubbleZero(config, obs=obs)
-    start = parse_clock(START_CLOCK)
-    system.schedule_script(periodic_disturbance_events(
-        start, NETWORK_SIM_S, every_s=1800.0, duration_s=30.0))
-    return system, NETWORK_SIM_S
+    return _build_trial("network", macro, obs=obs)
 
 
 _BUILDERS = {"hvac": _build_hvac, "network": _build_network}
@@ -252,9 +246,11 @@ def run_parallel_section(workers: int,
     from repro.runtime.pool import run_specs
     from repro.runtime.spec import RunResult, RunSpec
 
+    base = get_scenario("bench-parallel")
     specs = [RunSpec(label=f"seed-{seed}",
-                     config=BubbleZeroConfig(seed=seed),
-                     run_minutes=run_minutes)
+                     scenario=replace(base, name=f"seed-{seed}",
+                                      config=BubbleZeroConfig(seed=seed),
+                                      run_minutes=run_minutes))
              for seed in range(1, runs + 1)]
     t0 = time.perf_counter()
     serial_payloads = run_specs(specs, workers=1)

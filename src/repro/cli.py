@@ -21,12 +21,13 @@ from typing import List, Optional
 
 from repro.analysis.export import export_summary_json, export_traces_csv
 from repro.core.config import BubbleZeroConfig, NetworkConfig
-from repro.core.system import BubbleZero
-from repro.sim.clock import format_clock
-from repro.workloads.events import (
-    paper_phase_two_events,
-    periodic_disturbance_events,
+from repro.scenarios.spec import (
+    SCRIPT_BUILDERS,
+    WEATHER_BUILDERS,
+    ScenarioSpec,
+    prepare_run,
 )
+from repro.sim.clock import format_clock
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,17 +37,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run the full system")
-    run.add_argument("--minutes", type=float, default=105.0,
-                     help="simulated duration (default: the paper's 105)")
-    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--scenario", metavar="NAME", default=None,
+                     help="start from a registered scenario (see "
+                          "`repro scenarios`); other flags override "
+                          "its fields")
+    run.add_argument("--minutes", type=float, default=None,
+                     help="simulated duration (default: the scenario's, "
+                          "or the paper's 105)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="RNG seed (default: the scenario's, or 7)")
     run.add_argument("--direct", action="store_true",
                      help="wired control loop (no radio)")
     run.add_argument("--fixed-tx", action="store_true",
                      help="Fixed transmission scheme instead of BT-ADPT")
+    run.add_argument("--script", choices=sorted(SCRIPT_BUILDERS),
+                     default=None,
+                     help="workload script to schedule")
+    run.add_argument("--weather", choices=sorted(WEATHER_BUILDERS),
+                     default=None,
+                     help="weather model (default: the scenario's, or "
+                          "the config-driven constant design day)")
     run.add_argument("--paper-events", action="store_true",
-                     help="schedule the paper's 14:05/14:25 door events")
+                     help="schedule the paper's 14:05/14:25 door events "
+                          "(alias for --script paper-phase-two)")
     run.add_argument("--export-csv", metavar="PATH")
     run.add_argument("--export-json", metavar="PATH")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list the registered experiment scenarios")
+    scenarios.add_argument("--show", metavar="NAME", default=None,
+                           help="describe one scenario in full")
 
     cop = sub.add_parser("cop", help="steady-state COP report (Fig. 11)")
     cop.add_argument("--seed", type=int, default=7)
@@ -90,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--only", metavar="GLOB",
                           help="run only cells whose name matches this "
                                "shell-style pattern (e.g. 'stuck-*')")
+    campaign.add_argument("--cells", metavar="NAMES",
+                          help="run exactly these comma-separated cell "
+                               "names, in the given order")
     campaign.add_argument("--workers", type=int, default=None,
                           help="process-pool width (default: cpu count, "
                                "capped at the number of runs)")
@@ -150,20 +173,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build(seed: int, direct: bool = False,
-           fixed_tx: bool = False) -> BubbleZero:
-    network = NetworkConfig(
-        enabled=not direct,
-        bt_mode="fixed" if fixed_tx else "adaptive")
-    return BubbleZero(BubbleZeroConfig(seed=seed, network=network))
+def _run_scenario_spec(args: argparse.Namespace) -> ScenarioSpec:
+    """The spec behind ``repro run``: a registered scenario (when
+    ``--scenario`` names one) with the explicit flags layered on top,
+    or the classic hand-flagged run."""
+    from repro.scenarios.registry import get_scenario
+
+    if args.scenario:
+        spec = get_scenario(args.scenario)
+    else:
+        spec = ScenarioSpec(name="run", config=BubbleZeroConfig(seed=7),
+                            run_minutes=105.0)
+    overrides = {}
+    config = spec.config
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    if args.direct or args.fixed_tx:
+        config = dataclasses.replace(config, network=NetworkConfig(
+            enabled=not args.direct,
+            bt_mode="fixed" if args.fixed_tx else "adaptive"))
+    if config is not spec.config:
+        overrides["config"] = config
+    script = args.script
+    if args.paper_events and script is None:
+        script = "paper-phase-two"
+    if script is not None:
+        overrides["script"] = script
+    if args.weather is not None:
+        overrides["weather"] = args.weather
+    if args.minutes is not None:
+        overrides["run_minutes"] = args.minutes
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    return spec
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    system = _build(args.seed, direct=args.direct, fixed_tx=args.fixed_tx)
-    if args.paper_events:
-        system.schedule_script(paper_phase_two_events())
+    try:
+        spec = _run_scenario_spec(args)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    system, _ = prepare_run(spec)
     system.start()
-    remaining = args.minutes
+    remaining = spec.run_minutes
     print(f"{'time':>8} {'temp':>7} {'dew':>7} {'co2':>6}")
     while remaining > 0:
         step = min(10.0, remaining)
@@ -188,12 +241,38 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios.registry import (
+        describe_scenario,
+        get_scenario,
+        scenario_names,
+    )
+
+    if args.show:
+        try:
+            print(describe_scenario(args.show))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        return 0
+    for name in scenario_names():
+        print(f"{name:36} {get_scenario(name).description}")
+    return 0
+
+
 def cmd_cop(args: argparse.Namespace) -> int:
     from repro.analysis.reporting import render_cop_bars
     from repro.baselines.aircon import AirConBaseline
     from repro.core.plant import CONDENSER_APPROACH_K
+    from repro.scenarios.registry import get_scenario
 
-    system = _build(args.seed)
+    spec = get_scenario("paper-cop")
+    if args.seed != spec.config.seed:
+        spec = dataclasses.replace(spec, config=dataclasses.replace(
+            spec.config, seed=args.seed))
+    # The registered 60-minute horizon is the 40-minute pulldown plus
+    # the 20-minute metered window below.
+    system, _ = prepare_run(spec)
     system.run(minutes=40)
     before = system.plant.meter_snapshot()
     system.run(minutes=20)
@@ -218,13 +297,17 @@ def cmd_cop(args: argparse.Namespace) -> int:
 def cmd_lifetime(args: argparse.Namespace) -> int:
     import numpy as np
 
+    from repro.scenarios.registry import get_scenario
+
     results = {}
-    start = None
     for mode in ("fixed", "adaptive"):
-        system = _build(args.seed, fixed_tx=(mode == "fixed"))
-        start = system.sim.now
-        system.schedule_script(periodic_disturbance_events(
-            start, args.hours * 3600.0))
+        spec = get_scenario(f"lifetime-{mode}")
+        overrides = {"run_minutes": args.hours * 60.0}
+        if args.seed != spec.config.seed:
+            overrides["config"] = dataclasses.replace(
+                spec.config, seed=args.seed)
+        spec = dataclasses.replace(spec, **overrides)
+        system, _ = prepare_run(spec)
         system.start()
         system.run(hours=args.hours)
         system.finalize()
@@ -274,6 +357,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(exc, file=sys.stderr)
             return 2
+    if args.cells:
+        wanted = [name.strip() for name in args.cells.split(",")
+                  if name.strip()]
+        by_name = {cell.name: cell for cell in config.cells}
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            print(f"unknown campaign cell(s): {', '.join(unknown)}; "
+                  f"available: {', '.join(by_name)}", file=sys.stderr)
+            return 2
+        config.cells = [by_name[name] for name in wanted]
     workers = (default_worker_count(len(config.cells) + 1)
                if args.workers is None else args.workers)
     print(f"{len(config.cells)} cells + baseline, {workers} worker(s)")
@@ -392,7 +485,8 @@ def cmd_status(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": cmd_run, "cop": cmd_cop, "lifetime": cmd_lifetime,
+    handlers = {"run": cmd_run, "scenarios": cmd_scenarios,
+                "cop": cmd_cop, "lifetime": cmd_lifetime,
                 "bench": cmd_bench, "campaign": cmd_campaign,
                 "sweep": cmd_sweep, "status": cmd_status}
     return handlers[args.command](args)

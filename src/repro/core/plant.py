@@ -1,16 +1,24 @@
 """The physical plant: every piece of hardware, wired and integrated.
 
 ``Plant`` owns the room model, the two chilled-water tanks and their
-chillers, the two radiant panel loops (supply pump + recycle pump +
-mixing junction + panel), and the four airbox/CO2flap pairs.  Its
+chillers, the radiant panel loops (supply pump + recycle pump + mixing
+junction + panel), and the per-zone airbox/CO2flap pairs.  Its
 ``step(dt)`` advances all of it one time step, given whatever actuator
 commands the control boards have applied since the last step.
 
-Topology (paper Fig. 2):
+The hardware roster is declared by a
+:class:`~repro.scenarios.topology.SystemTopology` — zone count, the
+panel->zone map, the coupling graph and the door/window exposure
+weights all come from it.  The default is the paper's laboratory
+(Fig. 2):
 
 * panel 0 serves subspaces 0 and 1, panel 1 serves subspaces 2 and 3;
 * airbox/flap pair ``i`` serves subspace ``i``;
 * the 18 degC tank feeds the panel loops, the 8 degC tank the coils.
+
+Chiller capacities and tank volumes scale linearly with zone count
+from the paper's 4-zone calibration, so an N-zone declaration gets a
+plant sized for its floor area rather than the lab's.
 """
 
 from __future__ import annotations
@@ -27,15 +35,13 @@ from repro.hydronics.panel import PanelResult, RadiantPanel
 from repro.hydronics.pump import DCPump, PumpCurve
 from repro.hydronics.tank import ColdWaterTank
 from repro.hydronics.water import WATER_CP, mass_flow
-from repro.physics.room import (
-    DOOR_WEIGHTS,
-    Room,
-    RoomParameters,
-    SubspaceInputs,
-    WINDOW_WEIGHTS,
-)
+from repro.physics.room import Room, RoomGeometry, SubspaceInputs
 from repro.physics.weather import OutdoorState, WeatherModel
+from repro.scenarios.topology import SystemTopology, paper_topology
 
+# The paper lab's panel->zone map, kept as a module constant for
+# callers that hard-code the 4-zone layout; the live map is
+# ``Plant.topology.panel_zones``.
 PANEL_SUBSPACES = ((0, 1), (2, 3))
 
 # Condenser approach: heat is rejected a few degrees above outdoor air.
@@ -74,24 +80,37 @@ class Plant:
     def __init__(self, weather: WeatherModel,
                  room: Optional[Room] = None,
                  radiant_chiller: Optional[CarnotFractionChiller] = None,
-                 vent_chiller: Optional[CarnotFractionChiller] = None) -> None:
+                 vent_chiller: Optional[CarnotFractionChiller] = None,
+                 topology: Optional[SystemTopology] = None) -> None:
         self.weather = weather
-        self.room = room or Room()
+        self.topology = topology or paper_topology()
+        topo = self.topology
+        self.room = room or Room(
+            geometry=RoomGeometry(topo.length_m, topo.width_m,
+                                  topo.height_m, topo.zone_count),
+            adjacency=topo.adjacency)
         n_sub = len(self.room.subspaces)
-        if n_sub != 4:
-            raise ValueError("the BubbleZERO plant expects 4 subspaces")
+        if n_sub != topo.zone_count:
+            raise ValueError(
+                f"room has {n_sub} subspaces but topology "
+                f"{topo.name!r} declares {topo.zone_count} zones")
 
-        # Chillers calibrated per DESIGN.md §4.
+        # Chillers calibrated per DESIGN.md §4, sized linearly from the
+        # paper's 4-zone lab (scale 1.0 there, so the products below
+        # reproduce the calibrated constants bit for bit).
+        scale = topo.zone_count / 4.0
         self.radiant_chiller = radiant_chiller or CarnotFractionChiller(
             "chiller-18C", cold_setpoint_c=18.0, second_law_fraction=0.30,
-            parasitic_w=6.0, capacity_w=2600.0)
+            parasitic_w=6.0 * scale, capacity_w=2600.0 * scale)
         self.vent_chiller = vent_chiller or CarnotFractionChiller(
             "chiller-8C", cold_setpoint_c=8.0, second_law_fraction=0.30,
-            parasitic_w=2.0, capacity_w=3600.0)
+            parasitic_w=2.0 * scale, capacity_w=3600.0 * scale)
         self.radiant_tank = ColdWaterTank(
-            "tank-18C", self.radiant_chiller, volume_l=150.0, setpoint_c=18.0)
+            "tank-18C", self.radiant_chiller, volume_l=150.0 * scale,
+            setpoint_c=18.0)
         self.vent_tank = ColdWaterTank(
-            "tank-8C", self.vent_chiller, volume_l=100.0, setpoint_c=8.0)
+            "tank-8C", self.vent_chiller, volume_l=100.0 * scale,
+            setpoint_c=8.0)
 
         self.panel_loops: List[PanelLoop] = [
             PanelLoop(
@@ -100,7 +119,7 @@ class Plant:
                                    curve=PumpCurve(max_flow_lps=0.20)),
                 recycle_pump=DCPump(f"panel-{i}/recycle-pump",
                                     curve=PumpCurve(max_flow_lps=0.20)))
-            for i in range(2)
+            for i in range(topo.panel_count)
         ]
         self.vent_units: List[VentUnit] = [
             VentUnit(airbox=Airbox(f"airbox-{i}"), flap=CO2Flap(f"flap-{i}"))
@@ -108,7 +127,7 @@ class Plant:
         ]
         self.guard = CondensationGuard()
         self.occupants = [0.0] * n_sub
-        self.equipment_w = [40.0] * n_sub
+        self.equipment_w = [topo.equipment_w] * n_sub
         self.door_open_fraction = 0.0
         self.window_open_fraction = 0.0
         self.time_integrated_s = 0.0
@@ -255,13 +274,23 @@ class Plant:
         panel_heat = [0.0] * len(self.room.subspaces)
 
         # --- radiant panel loops ---------------------------------------
+        panel_zones = self.topology.panel_zones
         for idx, loop in enumerate(self.panel_loops):
-            # Each loop serves exactly two subspaces; index them directly
-            # instead of paying generator overhead in the per-tick loop.
-            s0, s1 = PANEL_SUBSPACES[idx]
-            state0 = self.room.state_of(s0)
-            state1 = self.room.state_of(s1)
-            zone_temp = (state0.temp_c + state1.temp_c) / 2
+            served = panel_zones[idx]
+            if len(served) == 2:
+                # Fast path for pairwise panels (the paper layout):
+                # index the two subspaces directly instead of paying
+                # generator overhead in the per-tick loop.  The general
+                # branch computes bit-identical values for a pair.
+                s0, s1 = served
+                state0 = self.room.state_of(s0)
+                state1 = self.room.state_of(s1)
+                states = (state0, state1)
+                zone_temp = (state0.temp_c + state1.temp_c) / 2
+            else:
+                states = tuple(self.room.state_of(s) for s in served)
+                zone_temp = (sum(state.temp_c for state in states)
+                             / len(states))
             mix: MixResult = loop.junction.mix(
                 self.radiant_tank.draw(), loop.return_temp_c)
             result = loop.panel.exchange(mix.flow_lps, mix.temp_c, zone_temp)
@@ -280,18 +309,20 @@ class Plant:
             # Water drawn from the tank returns at panel-outlet temperature.
             self.radiant_tank.accept_return(
                 mix.supply_flow_lps, result.return_temp_c, dt)
-            half_heat = result.heat_w / 2
-            panel_heat[s0] += half_heat
-            panel_heat[s1] += half_heat
+            share = result.heat_w / len(served)
+            for s in served:
+                panel_heat[s] += share
             # Condensation guard: panel surface vs local air dew point.
             if mix.flow_lps > 0:
-                local_dew = max(state0.dew_point_c, state1.dew_point_c)
+                local_dew = max(state.dew_point_c for state in states)
                 if not self.guard.check_dew(result.surface_temp_c, local_dew):
                     self.room.record_condensation()
             loop.supply_pump.integrate(dt)
             loop.recycle_pump.integrate(dt)
 
         # --- ventilation units ------------------------------------------
+        door_weights = self.topology.door_weights
+        window_weights = self.topology.window_weights
         inputs: List[SubspaceInputs] = []
         for i, unit in enumerate(self.vent_units):
             # The coil sees whatever the 8 degC tank actually holds; an
@@ -311,8 +342,8 @@ class Plant:
                                + output.coil_heat_w / m_cp)
                 self.vent_tank.accept_return(
                     output.coil_water_flow_lps, coil_return, dt)
-            opening = (self.door_open_fraction * _door_weight(i)
-                       + 0.8 * self.window_open_fraction * _window_weight(i))
+            opening = (self.door_open_fraction * door_weights[i]
+                       + 0.8 * self.window_open_fraction * window_weights[i])
             inputs.append(SubspaceInputs(
                 panel_heat_w=panel_heat[i],
                 vent_flow_m3s=effective_flow,
@@ -408,17 +439,3 @@ class Plant:
         if pr + pv > 0:
             report["bubble_zero"] = (qr + qv) / (pr + pv)
         return report
-
-
-def _door_weight(subspace: int) -> float:
-    """Share of a door opening felt by each subspace (paper §V-A).
-
-    Weights sum to one, so the total exchange equals the door path's
-    rated flow; the door-side subspaces take most of it.
-    """
-    return DOOR_WEIGHTS[subspace]
-
-
-def _window_weight(subspace: int) -> float:
-    """Share of a window opening felt by each subspace (back facade)."""
-    return WINDOW_WEIGHTS[subspace]

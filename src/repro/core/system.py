@@ -22,7 +22,8 @@ from typing import Dict, List, Optional
 from repro.control.radiant import RadiantInputs
 from repro.control.ventilation import VentilationInputs
 from repro.core.config import BubbleZeroConfig
-from repro.core.plant import PANEL_SUBSPACES, Plant
+from repro.core.plant import Plant
+from repro.scenarios.topology import SystemTopology, paper_topology
 from repro.devices.boards import (
     Board,
     ControlC1,
@@ -66,14 +67,16 @@ class BubbleZero:
 
     def __init__(self, config: Optional[BubbleZeroConfig] = None,
                  weather: Optional[WeatherModel] = None,
-                 obs=None) -> None:
+                 obs=None,
+                 topology: Optional[SystemTopology] = None) -> None:
         self.config = config or BubbleZeroConfig()
+        self.topology = topology or paper_topology()
         self.sim = Simulator(seed=self.config.seed,
                              start_time=self.config.start_time_s,
                              obs=obs)
         self.weather = weather or ConstantWeather(
             self.config.outdoor.temp_c, self.config.outdoor.dew_point_c)
-        self.plant = Plant(self.weather)
+        self.plant = Plant(self.weather, topology=self.topology)
         self.bt_nodes: List[BtSensorNode] = []
         self.boards: List[Board] = []
         self.medium: Optional[BroadcastMedium] = None
@@ -131,7 +134,9 @@ class BubbleZero:
             self.bt_nodes.append(node)
             return node
 
-        for i in range(4):
+        # One room/ceiling temperature+humidity quartet per zone, in the
+        # exact id order SystemTopology.sensor_node_ids() declares.
+        for i in range(self.topology.zone_count):
             make_node(f"bt-room-temp-{i}", DataType.TEMPERATURE, ("room", i),
                       lambda i=i: room.state_of(i).temp_c, 0.012, 0.01)
             make_node(f"bt-room-hum-{i}", DataType.HUMIDITY, ("room", i),
@@ -157,7 +162,7 @@ class BubbleZero:
                       preferred_rh_percent=comfort.preferred_rh_percent,
                       use_schedule_adapter=adapter),
         ]
-        for i in range(4):
+        for i in range(self.topology.zone_count):
             self.boards.append(ControlV2(
                 self.sim, self.medium, self.plant, i,
                 preferred_temp_c=comfort.preferred_temp_c,
@@ -179,7 +184,7 @@ class BubbleZero:
                 f"direct-radiant-{p}",
                 preferred_temp_c=comfort.preferred_temp_c,
                 pump_curve=self.plant.panel_loops[p].supply_pump.curve)
-            for p in range(2)
+            for p in range(self.topology.panel_count)
         ]
         self._vent_direct = [
             VentilationController(
@@ -188,7 +193,7 @@ class BubbleZero:
                 preferred_rh_percent=comfort.preferred_rh_percent,
                 coil_pump_curve=(
                     self.plant.vent_units[i].airbox.coil_pump.curve))
-            for i in range(4)
+            for i in range(self.topology.zone_count)
         ]
         self._direct_loop = PeriodicTask(
             self.sim, "direct-control", CONTROL_PERIOD_S, self._direct_step,
@@ -200,7 +205,7 @@ class BubbleZero:
         room_temp = room.mean_temp_c()
         supply = plant.supply_temp_c()
         for p, controller in enumerate(self._radiant_direct):
-            served = PANEL_SUBSPACES[p]
+            served = self.topology.panel_zones[p]
             ceiling_dew = max(room.state_of(s).dew_point_c for s in served)
             command = controller.step(RadiantInputs(
                 room_temp_c=room_temp,

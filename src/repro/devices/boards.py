@@ -32,7 +32,7 @@ from repro.control.ventilation import (
     VentilationController,
     VentilationInputs,
 )
-from repro.core.plant import PANEL_SUBSPACES, Plant
+from repro.core.plant import Plant
 from repro.devices.mote import Mote, PowerSource
 from repro.devices.sensors import (
     ADT7410TemperatureSensor,
@@ -251,19 +251,19 @@ class ControlC1(Board):
         self.mix_sensors = [
             ADT7410TemperatureSensor(
                 f"pipe/mix-{p}", lambda p=p: plant.panel_mix_temp_c(p), rng)
-            for p in range(2)
+            for p in range(len(plant.panel_loops))
         ]
         self.return_sensors = [
             ADT7410TemperatureSensor(
                 f"pipe/return-{p}",
                 lambda p=p: plant.panel_return_temp_c(p), rng)
-            for p in range(2)
+            for p in range(len(plant.panel_loops))
         ]
 
     def report(self, now: float) -> None:
         self.mote.broadcast(DataType.WATER_TEMP,
                             self.supply_sensor.read(), key="supply")
-        for p in range(2):
+        for p in range(len(self.mix_sensors)):
             self.mote.broadcast(DataType.WATER_TEMP,
                                 self.mix_sensors[p].read(), key=("mix", p))
             self.mote.broadcast(DataType.WATER_TEMP,
@@ -287,13 +287,13 @@ class ControlC2(Board):
             RadiantCoolingController(
                 f"radiant-{p}", preferred_temp_c=preferred_temp_c,
                 pump_curve=plant.panel_loops[p].supply_pump.curve)
-            for p in range(2)
+            for p in range(len(plant.panel_loops))
         ]
         self.flow_sensors = [
             Vision2000FlowSensor(
                 f"flow/mix-{p}", lambda p=p: plant.panel_mix_flow_lps(p),
                 sim.rng)
-            for p in range(2)
+            for p in range(len(plant.panel_loops))
         ]
         for dt in (DataType.TEMPERATURE, DataType.HUMIDITY,
                    DataType.WATER_TEMP):
@@ -314,7 +314,7 @@ class ControlC2(Board):
         the panel's served subspaces; falls back to the room sensors.
         """
         dews: List[float] = []
-        for s in PANEL_SUBSPACES[panel]:
+        for s in self.plant.topology.panel_zones[panel]:
             temp = self.fresh_value(DataType.TEMPERATURE, ("ceiling", s))
             rh = self.fresh_value(DataType.HUMIDITY, ("ceiling", s))
             if temp is None or rh is None:
@@ -326,7 +326,8 @@ class ControlC2(Board):
         return max(dews)
 
     def _room_temp(self) -> float:
-        keys = [("room", s) for s in range(4)]
+        keys = [("room", s)
+                for s in range(len(self.plant.room.subspaces))]
         return self.estimate_mean(DataType.TEMPERATURE, keys, 28.9)
 
     def _humidity_sensing_compromised(self) -> bool:
@@ -339,7 +340,7 @@ class ControlC2(Board):
         contact the conservative startup defaults already apply.
         """
         bus = self.mote.bus
-        for s in range(4):
+        for s in range(len(self.plant.room.subspaces)):
             ages = (bus.age_of(DataType.HUMIDITY, ("ceiling", s)),
                     bus.age_of(DataType.HUMIDITY, ("room", s)))
             if all(age is not None and age > self.STALE_AFTER_S
@@ -372,7 +373,7 @@ class ControlC2(Board):
                                   command.mix_flow_target_lps)
 
     def report(self, now: float) -> None:
-        for p in range(2):
+        for p in range(len(self.flow_sensors)):
             self.mote.broadcast(DataType.WATER_FLOW,
                                 self.flow_sensors[p].read(), key=("mix", p))
 
@@ -396,14 +397,14 @@ class ControlV1(Board):
                 preferred_temp_c=preferred_temp_c,
                 preferred_rh_percent=preferred_rh_percent,
                 coil_pump_curve=plant.vent_units[i].airbox.coil_pump.curve)
-            for i in range(4)
+            for i in range(len(plant.vent_units))
         ]
         self.coil_flow_sensors = [
             Vision2000FlowSensor(
                 f"flow/coil-{i}",
                 lambda i=i: plant.vent_units[i].airbox.coil_water_flow_lps,
                 sim.rng)
-            for i in range(4)
+            for i in range(len(plant.vent_units))
         ]
         for dt in (DataType.TEMPERATURE, DataType.HUMIDITY,
                    DataType.WATER_TEMP, DataType.AIRBOX_DEW, DataType.CO2):

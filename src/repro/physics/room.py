@@ -153,9 +153,17 @@ class Room:
                  params: Optional[RoomParameters] = None,
                  initial_temp_c: float = 28.9,
                  initial_dew_c: float = 27.4,
-                 initial_co2_ppm: float = 450.0) -> None:
+                 initial_co2_ppm: float = 450.0,
+                 adjacency: Optional[Tuple[Tuple[int, int], ...]] = None
+                 ) -> None:
         self.geometry = geometry or RoomGeometry()
         self.params = params or RoomParameters()
+        n_sub = self.geometry.subspace_count
+        # The coupling graph defaults to the paper's 2x2 arrangement,
+        # trimmed to the pairs that exist for smaller subspace counts.
+        self.adjacency: Tuple[Tuple[int, int], ...] = tuple(
+            (i, j) for i, j in (ADJACENCY if adjacency is None else adjacency)
+            if i < n_sub and j < n_sub)
         if initial_dew_c > initial_temp_c:
             raise ValueError("initial dew point cannot exceed temperature")
         w0 = humidity_ratio_from_dew_point(initial_dew_c)
@@ -191,12 +199,7 @@ class Room:
         k_q = (params.coupling_ua_w_per_k + self._mc_mix,
                self._m_mix * params.moisture_buffer_factor,
                params.mixing_flow_m3s)
-        for i, j in ADJACENCY:
-            if i >= n or j >= n:
-                # Non-standard subspace counts stay constructible (the
-                # plant rejects them on its own terms); only the pairs
-                # that exist couple.
-                continue
+        for i, j in self.adjacency:
             for q in range(3):
                 base[q, i, i] -= k_q[q]
                 base[q, i, j] += k_q[q]
@@ -275,7 +278,7 @@ class Room:
         mc_mix = self._mc_mix      # (mixing_flow * AIR_DENSITY) * AIR_CP
 
         # Inter-subspace coupling (conduction + bulk mixing), symmetric.
-        for i, j in ADJACENCY:
+        for i, j in self.adjacency:
             si, sj = subspaces[i].state, subspaces[j].state
             delta_t = sj.temp_c - si.temp_c
             q_pair = coupling_ua * delta_t + mc_mix * delta_t

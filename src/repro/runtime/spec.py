@@ -1,13 +1,19 @@
 """Picklable run specifications and their in-worker execution.
 
 A :class:`RunSpec` is everything a worker process needs to rebuild a
-:class:`~repro.core.system.BubbleZero` from scratch and run it:
-config, cell-relative faults, a workload script *name* (scripts hold
-callables, so they are referenced by registry key rather than
-pickled), and the horizon.  The worker returns only a compact
-:class:`RunResult` — outcome, discrete hash, paper metrics, timing —
-never a live system, so the payload crossing the process boundary
-stays small and spawn-safe.
+:class:`~repro.core.system.BubbleZero` from scratch and run it.  Since
+the scenario layer landed, the *what to run* lives in a
+:class:`~repro.scenarios.spec.ScenarioSpec` (config, topology,
+weather, workload script, faults, horizon) and RunSpec is the thin
+execution wrapper that adds what only the executor cares about: the
+display label, the test-only failure-injection hook and the telemetry
+switch.  The legacy keyword surface (``config=``, ``faults=``,
+``script=``, ``run_minutes=``, ``warmup_minutes=``) still works and
+simply builds the scenario inline.
+
+The worker returns only a compact :class:`RunResult` — outcome,
+discrete hash, paper metrics, timing — never a live system, so the
+payload crossing the process boundary stays small and spawn-safe.
 
 Execution is a pure function of the spec: the same spec produces the
 same :class:`RunResult` (minus wall-clock timing) whether it runs in
@@ -20,48 +26,29 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, Optional, Tuple
 
 from repro.analysis.degradation import RunOutcome, summarize_run
 from repro.analysis.fingerprint import discrete_log_hash
 from repro.core.config import BubbleZeroConfig
-from repro.workloads.events import (
-    paper_phase_two_events,
-    periodic_disturbance_events,
+from repro.scenarios.spec import (
+    SCRIPT_BUILDERS,  # noqa: F401  (re-exported for compat)
+    ScenarioSpec,
+    prepare_run,
 )
 from repro.workloads.faults import (
-    ChannelJam,
     Fault,
-    FaultScript,
-    NodeCrash,
-    SensorDrift,
-    SensorStuck,
+    shift_fault,  # noqa: F401  (re-exported for compat)
 )
 
-# Workload scripts are registered by name: an EventScript holds bound
-# callables and is rebuilt inside the worker, never pickled.  Each
-# builder takes (start_s, horizon_s) of the run about to execute.
-SCRIPT_BUILDERS = {
-    "none": lambda start_s, horizon_s: None,
-    "paper-phase-two":
-        lambda start_s, horizon_s: paper_phase_two_events(),
-    "periodic-disturbance":
-        lambda start_s, horizon_s: periodic_disturbance_events(
-            start_s, horizon_s),
-}
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class RunSpec:
     """One independent seeded run, picklable under the spawn method."""
 
     label: str
-    config: BubbleZeroConfig
-    faults: Tuple[Fault, ...] = ()
-    script: str = "none"
-    run_minutes: float = 45.0
-    warmup_minutes: float = 0.0
+    scenario: ScenarioSpec
     # Test-only fault-injection hook, interpreted by _apply_injection
     # before the run starts ("delay:S", "hang", "crash",
     # "crash-below-attempt:N", "raise").  Never set by production code.
@@ -71,15 +58,59 @@ class RunSpec:
     # campaign/sweep/bench invocation (--telemetry).
     telemetry: bool = False
 
-    def __post_init__(self) -> None:
-        if self.script not in SCRIPT_BUILDERS:
-            raise ValueError(
-                f"unknown workload script {self.script!r}; known: "
-                f"{', '.join(sorted(SCRIPT_BUILDERS))}")
-        if self.run_minutes <= 0:
-            raise ValueError("runs must have positive length")
-        if not 0 <= self.warmup_minutes < self.run_minutes:
-            raise ValueError("warmup must fit inside the run")
+    def __init__(self, label: str,
+                 scenario: Optional[ScenarioSpec] = None, *,
+                 config: Optional[BubbleZeroConfig] = None,
+                 faults: Tuple[Fault, ...] = (),
+                 script: Optional[str] = None,
+                 run_minutes: Optional[float] = None,
+                 warmup_minutes: Optional[float] = None,
+                 inject: Optional[str] = None,
+                 telemetry: bool = False) -> None:
+        if scenario is None:
+            if config is None:
+                raise TypeError("RunSpec needs a scenario or a config")
+            scenario = ScenarioSpec(
+                name=label, config=config, faults=tuple(faults),
+                script="none" if script is None else script,
+                run_minutes=45.0 if run_minutes is None else run_minutes,
+                warmup_minutes=(0.0 if warmup_minutes is None
+                                else warmup_minutes))
+        else:
+            overrides = {
+                key: value for key, value in (
+                    ("config", config), ("script", script),
+                    ("run_minutes", run_minutes),
+                    ("warmup_minutes", warmup_minutes)) if value is not None}
+            if faults:
+                overrides["faults"] = tuple(faults)
+            if overrides:
+                scenario = _dc_replace(scenario, **overrides)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "scenario", scenario)
+        object.__setattr__(self, "inject", inject)
+        object.__setattr__(self, "telemetry", telemetry)
+
+    # Delegates kept for the wide pre-scenario call surface.
+    @property
+    def config(self) -> BubbleZeroConfig:
+        return self.scenario.config
+
+    @property
+    def faults(self) -> Tuple[Fault, ...]:
+        return self.scenario.faults
+
+    @property
+    def script(self) -> str:
+        return self.scenario.script
+
+    @property
+    def run_minutes(self) -> float:
+        return self.scenario.run_minutes
+
+    @property
+    def warmup_minutes(self) -> float:
+        return self.scenario.warmup_minutes
 
 
 @dataclass(frozen=True)
@@ -126,18 +157,6 @@ class RunFailure:
         }
 
 
-def shift_fault(fault: Fault, t0: float) -> Fault:
-    """Rebase a cell-relative fault onto the simulator's clock."""
-    if isinstance(fault, (SensorStuck, SensorDrift)):
-        until = None if fault.until is None else fault.until + t0
-        return replace(fault, time=fault.time + t0, until=until)
-    if isinstance(fault, NodeCrash):
-        return replace(fault, time=fault.time + t0)
-    if isinstance(fault, ChannelJam):
-        return replace(fault, start=fault.start + t0, end=fault.end + t0)
-    raise TypeError(f"unknown fault: {fault!r}")  # pragma: no cover
-
-
 def paper_metrics(system, outcome: RunOutcome) -> Dict[str, float]:
     """The §V metrics a sweep aggregates, as one flat name->float dict.
 
@@ -173,26 +192,13 @@ def paper_metrics(system, outcome: RunOutcome) -> Dict[str, float]:
 
 def execute_spec(spec: RunSpec, attempt: int = 0) -> RunResult:
     """Build, run and summarise one spec — the worker's whole job."""
-    from repro.core.system import BubbleZero
-
     _apply_injection(spec.inject, attempt)
     obs = None
     if spec.telemetry:
         from repro.obs import create_observability
         obs = create_observability()
     t0 = time.perf_counter()
-    system = BubbleZero(spec.config, obs=obs)
-    start = system.sim.now
-    horizon_s = spec.run_minutes * 60.0
-    script = SCRIPT_BUILDERS[spec.script](start, horizon_s)
-    if script is not None:
-        system.schedule_script(script)
-    clearance: Optional[float] = None
-    if spec.faults:
-        fault_script = FaultScript(
-            [shift_fault(fault, start) for fault in spec.faults])
-        fault_script.apply_to(system)
-        clearance = fault_script.clearance_time()
+    system, clearance = prepare_run(spec.scenario, obs=obs)
     system.start()
     system.run(minutes=spec.run_minutes)
     system.finalize()
@@ -208,7 +214,7 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> RunResult:
         discrete_hash=discrete_log_hash(system),
         metrics=paper_metrics(system, outcome),
         wall_s=time.perf_counter() - t0,
-        sim_s=horizon_s,
+        sim_s=spec.run_minutes * 60.0,
         events=system.sim.events_dispatched,
         clearance_time=clearance,
         obs=obs_data,

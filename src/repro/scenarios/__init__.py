@@ -1,0 +1,53 @@
+"""Declarative scenario layer: topologies, specs and the registry.
+
+``repro.scenarios.topology`` sits below :mod:`repro.core` in the import
+graph (the plant builds itself from a topology), so this package's
+``__init__`` must stay import-light: only the topology symbols load
+eagerly.  The spec and registry layers — which import the core back —
+resolve lazily on first attribute access (PEP 562), keeping
+``from repro.scenarios import get_scenario`` convenient without a
+cycle.
+"""
+
+from repro.scenarios.topology import (
+    SystemTopology,
+    grid_topology,
+    paper_topology,
+)
+
+_LAZY = {
+    "ScenarioSpec": "repro.scenarios.spec",
+    "SCRIPT_BUILDERS": "repro.scenarios.spec",
+    "WEATHER_BUILDERS": "repro.scenarios.spec",
+    "build_system": "repro.scenarios.spec",
+    "prepare_run": "repro.scenarios.spec",
+    "run_scenario": "repro.scenarios.spec",
+    "describe_scenario": "repro.scenarios.registry",
+    "fault_script_names": "repro.scenarios.registry",
+    "get_fault_script": "repro.scenarios.registry",
+    "get_scenario": "repro.scenarios.registry",
+    "register_fault_script": "repro.scenarios.registry",
+    "register_scenario": "repro.scenarios.registry",
+    "scenario_names": "repro.scenarios.registry",
+}
+
+__all__ = [
+    "SystemTopology",
+    "grid_topology",
+    "paper_topology",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,178 @@
+"""Declarative experiment specifications.
+
+A :class:`ScenarioSpec` is the complete, picklable recipe for one
+experiment: the config, the :class:`~repro.scenarios.topology.
+SystemTopology` to build, the weather model, the workload script, the
+fault program and the horizon.  Every hand-wired experiment in the
+repo — the §V-A pulldown, the §V-C network trial, campaign cells,
+sweep seeds, bench trials, golden-fingerprint trials — reduces to one
+of these records, registered by name in
+:mod:`repro.scenarios.registry`.
+
+Scripts and weather models hold bound callables and are therefore
+referenced by *name* (resolved through :data:`SCRIPT_BUILDERS` and
+:data:`WEATHER_BUILDERS` inside the worker) so a spec stays small and
+spawn-safe.  Execution is split into :func:`prepare_run` (build the
+system, schedule workload and faults) and :func:`run_scenario`
+(prepare, run to the horizon, finalize), so front-ends that need the
+live system mid-run — the CLI's chunked progress loop, the bench
+harness — can reuse the exact same assembly path as the one-shot
+executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.config import BubbleZeroConfig
+from repro.physics.weather import TropicalWeather, WeatherModel
+from repro.scenarios.topology import SystemTopology, paper_topology
+from repro.workloads.events import (
+    paper_phase_two_events,
+    periodic_disturbance_events,
+)
+from repro.workloads.faults import Fault, FaultScript, shift_fault
+
+# Workload scripts are registered by name: an EventScript holds bound
+# callables and is rebuilt inside the worker, never pickled.  Each
+# builder takes (start_s, horizon_s) of the run about to execute.
+SCRIPT_BUILDERS = {
+    "none": lambda start_s, horizon_s: None,
+    "paper-phase-two":
+        lambda start_s, horizon_s: paper_phase_two_events(),
+    "periodic-disturbance":
+        lambda start_s, horizon_s: periodic_disturbance_events(
+            start_s, horizon_s),
+}
+
+# Weather models by name.  "config" returns None so the system builds
+# its default ConstantWeather from config.outdoor — byte-identical to
+# every pre-registry assembly path.  Builders take the spec's config so
+# stochastic models derive their seed from the run's seed.
+WEATHER_BUILDERS = {
+    "config": lambda config: None,
+    "tropical": lambda config: TropicalWeather(seed=config.seed),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named experiment: everything needed to rebuild and run it.
+
+    ``faults`` carries inline cell-relative faults; ``fault_script``
+    names a registry-registered (and pre-validated) fault program.
+    Both may be set — the registry script's faults apply first.  The
+    fault-script *name* is resolved lazily at run time, so specs can be
+    constructed while the registry module itself is still importing.
+    """
+
+    name: str
+    description: str = ""
+    config: BubbleZeroConfig = field(default_factory=BubbleZeroConfig)
+    topology: SystemTopology = field(default_factory=paper_topology)
+    weather: str = "config"
+    script: str = "none"
+    fault_script: str = "none"
+    faults: Tuple[Fault, ...] = ()
+    run_minutes: float = 45.0
+    warmup_minutes: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.script not in SCRIPT_BUILDERS:
+            raise ValueError(
+                f"unknown workload script {self.script!r}; known: "
+                f"{', '.join(sorted(SCRIPT_BUILDERS))}")
+        if self.weather not in WEATHER_BUILDERS:
+            raise ValueError(
+                f"unknown weather model {self.weather!r}; known: "
+                f"{', '.join(sorted(WEATHER_BUILDERS))}")
+        if self.run_minutes <= 0:
+            raise ValueError("runs must have positive length")
+        if not 0 <= self.warmup_minutes < self.run_minutes:
+            raise ValueError("warmup must fit inside the run")
+
+    def resolve_faults(self) -> Tuple[Fault, ...]:
+        """The complete fault list: named script first, inline after."""
+        if self.fault_script == "none":
+            return self.faults
+        from repro.scenarios.registry import get_fault_script
+        return tuple(get_fault_script(self.fault_script).faults) + self.faults
+
+    def build_weather(self) -> Optional[WeatherModel]:
+        """The weather model, or None for the config-driven default."""
+        return WEATHER_BUILDERS[self.weather](self.config)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (``repro scenarios``)."""
+        from repro.workloads.faults import describe_faults
+
+        lines = [f"scenario: {self.name}"]
+        if self.description:
+            lines.append(f"  {self.description}")
+        lines.append(f"  seed: {self.config.seed}")
+        lines.append(
+            f"  topology: {self.topology.name} "
+            f"({self.topology.zone_count} zones, "
+            f"{self.topology.panel_count} panels)")
+        lines.append(f"  weather: {self.weather}")
+        lines.append(f"  script: {self.script}")
+        mode = ("direct" if not self.config.network.enabled
+                else self.config.network.bt_mode)
+        lines.append(f"  network: {mode}")
+        lines.append(
+            f"  horizon: {self.run_minutes:g} min "
+            f"(warmup {self.warmup_minutes:g} min)")
+        if self.fault_script != "none":
+            lines.append(f"  fault script: {self.fault_script}")
+        if self.faults:
+            lines.append(f"  faults: {describe_faults(self.faults)}")
+        return "\n".join(lines)
+
+
+def build_system(spec: ScenarioSpec, obs=None):
+    """A fresh :class:`~repro.core.system.BubbleZero` for the spec."""
+    from repro.core.system import BubbleZero
+
+    return BubbleZero(spec.config, weather=spec.build_weather(),
+                      obs=obs, topology=spec.topology)
+
+
+def prepare_run(spec: ScenarioSpec, obs=None):
+    """Build the system and schedule workload and faults.
+
+    Returns ``(system, clearance_time)`` with the system unstarted, so
+    callers can attach meters or sniffers before ``system.start()``.
+    ``clearance_time`` is the absolute instant the last self-clearing
+    fault ends (None without self-clearing faults) — the hook recovery
+    scoring keys on.
+    """
+    system = build_system(spec, obs=obs)
+    start = system.sim.now
+    horizon_s = spec.run_minutes * 60.0
+    script = SCRIPT_BUILDERS[spec.script](start, horizon_s)
+    if script is not None:
+        system.schedule_script(script)
+    clearance: Optional[float] = None
+    faults = spec.resolve_faults()
+    if faults:
+        fault_script = FaultScript(
+            [shift_fault(fault, start) for fault in faults])
+        # Registry-named scripts were roster-validated at registration;
+        # inline faults still get the atomic pre-flight check.
+        fault_script.apply_to(
+            system, validate=bool(spec.faults)
+            or spec.fault_script == "none")
+        clearance = fault_script.clearance_time()
+    return system, clearance
+
+
+def run_scenario(spec: ScenarioSpec, obs=None):
+    """Prepare, run to the spec's horizon and finalize; returns the
+    finished system for scoring/fingerprinting."""
+    system, _ = prepare_run(spec, obs=obs)
+    system.start()
+    system.run(minutes=spec.run_minutes)
+    system.finalize()
+    return system

@@ -39,36 +39,27 @@ from repro.obs.manifest import build_manifest
 from repro.runtime.pool import RunPayload, run_specs
 from repro.runtime.progress import STARTED, ProgressEvent
 from repro.runtime.spec import RunFailure, RunSpec, shift_fault
-from repro.workloads.faults import (
-    ChannelJam,
-    Fault,
-    NodeCrash,
-    SensorDrift,
-    SensorStuck,
-)
+from repro.scenarios.registry import full_cell_faults, quick_cell_faults
+from repro.scenarios.spec import ScenarioSpec
+from repro.workloads.faults import Fault, NodeCrash, describe_fault
 
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One named fault program; onset times relative to run start."""
+    """One named fault program; onset times relative to run start.
+
+    ``registry_name`` is set when the cell's fault program is the
+    registered (pre-validated) one from
+    :mod:`repro.scenarios.registry`; customised cells — non-default
+    onsets or severities — carry their faults inline instead.
+    """
 
     name: str
     faults: Tuple[Fault, ...]
+    registry_name: Optional[str] = None
 
     def describe(self) -> str:
-        parts = []
-        for fault in self.faults:
-            if isinstance(fault, SensorStuck):
-                parts.append(f"stuck {fault.device_id}@{fault.value:g}")
-            elif isinstance(fault, SensorDrift):
-                parts.append(f"drift {fault.device_id}"
-                             f"{fault.offset:+g}")
-            elif isinstance(fault, NodeCrash):
-                parts.append(f"crash {fault.device_id}")
-            elif isinstance(fault, ChannelJam):
-                parts.append(f"jam {fault.duty:.0%} "
-                             f"{fault.start:g}-{fault.end:g}s")
-        return "; ".join(parts)
+        return "; ".join(describe_fault(fault) for fault in self.faults)
 
     def is_single_crash(self) -> bool:
         return (len(self.faults) == 1
@@ -163,33 +154,16 @@ def quick_matrix(onset_s: float = 1800.0,
                  clear_s: float = 2100.0) -> List[CampaignCell]:
     """The fast ≥8-cell matrix behind ``repro campaign --quick``.
 
-    Covers every fault class, both severities of the jam, and two
-    compound programs — including the humidity blackout that must latch
-    the supervisor's conservative mode.
+    The cell definitions live in
+    :func:`repro.scenarios.registry.quick_cell_faults`; at the default
+    onsets each cell carries its pre-validated registry fault-script
+    name so campaign specs route through the scenario registry.
     """
+    defaults = (onset_s, clear_s) == (1800.0, 2100.0)
     return [
-        CampaignCell("stuck-high", (
-            SensorStuck(onset_s, "bt-room-temp-0", 35.0, until=clear_s),)),
-        CampaignCell("stuck-low", (
-            SensorStuck(onset_s, "bt-room-temp-1", 15.0, until=clear_s),)),
-        CampaignCell("drift-humidity", (
-            SensorDrift(onset_s, "bt-room-hum-0", 20.0, until=clear_s),)),
-        CampaignCell("drift-temp", (
-            SensorDrift(onset_s, "bt-room-temp-2", 3.0, until=clear_s),)),
-        CampaignCell("crash-room-temp", (
-            NodeCrash(onset_s, "bt-room-temp-3"),)),
-        CampaignCell("crash-ceil-hum", (
-            NodeCrash(onset_s, "bt-ceil-hum-0"),)),
-        CampaignCell("jam-light", (
-            ChannelJam(onset_s, onset_s + 300.0, duty=0.3),)),
-        CampaignCell("jam-heavy", (
-            ChannelJam(onset_s, onset_s + 300.0, duty=0.9),)),
-        CampaignCell("compound-crash-jam", (
-            NodeCrash(onset_s, "bt-room-hum-2"),
-            ChannelJam(clear_s, clear_s + 180.0, duty=0.9))),
-        CampaignCell("compound-hum-blackout", (
-            NodeCrash(onset_s, "bt-ceil-hum-1"),
-            NodeCrash(onset_s, "bt-room-hum-1"))),
+        CampaignCell(name, faults,
+                     registry_name=f"quick/{name}" if defaults else None)
+        for name, faults in quick_cell_faults(onset_s, clear_s)
     ]
 
 
@@ -198,36 +172,22 @@ def full_matrix(onsets_s: Tuple[float, ...] = (1800.0, 2400.0),
                 drift_offsets: Tuple[float, ...] = (3.0, 10.0),
                 jam_duties: Tuple[float, ...] = (0.3, 0.9),
                 fault_duration_s: float = 600.0) -> List[CampaignCell]:
-    """Severity x onset sweep of every fault class, plus compounds."""
-    cells: List[CampaignCell] = []
-    for onset in onsets_s:
-        clear = onset + fault_duration_s
-        for value in stuck_values:
-            cells.append(CampaignCell(
-                f"stuck-{value:g}@{onset:g}s", (
-                    SensorStuck(onset, "bt-room-temp-0", value,
-                                until=clear),)))
-        for offset in drift_offsets:
-            cells.append(CampaignCell(
-                f"drift-{offset:+g}@{onset:g}s", (
-                    SensorDrift(onset, "bt-room-hum-0", offset,
-                                until=clear),)))
-        for device in ("bt-room-temp-3", "bt-ceil-hum-0"):
-            cells.append(CampaignCell(
-                f"crash-{device}@{onset:g}s", (NodeCrash(onset, device),)))
-        for duty in jam_duties:
-            cells.append(CampaignCell(
-                f"jam-{duty:.0%}@{onset:g}s", (
-                    ChannelJam(onset, clear, duty=duty),)))
-        cells.append(CampaignCell(
-            f"compound-blackout@{onset:g}s", (
-                NodeCrash(onset, "bt-ceil-hum-1"),
-                NodeCrash(onset, "bt-room-hum-1"))))
-        cells.append(CampaignCell(
-            f"compound-stuck-jam@{onset:g}s", (
-                SensorStuck(onset, "bt-room-temp-0", 35.0, until=clear),
-                ChannelJam(onset, onset + 300.0, duty=0.9))))
-    return cells
+    """Severity x onset sweep of every fault class, plus compounds.
+
+    Like :func:`quick_matrix`, delegates the cell definitions to
+    :func:`repro.scenarios.registry.full_cell_faults`.
+    """
+    defaults = ((onsets_s, stuck_values, drift_offsets, jam_duties,
+                 fault_duration_s)
+                == ((1800.0, 2400.0), (15.0, 35.0), (3.0, 10.0),
+                    (0.3, 0.9), 600.0))
+    return [
+        CampaignCell(name, faults,
+                     registry_name=f"full/{name}" if defaults else None)
+        for name, faults in full_cell_faults(
+            onsets_s, stuck_values, drift_offsets, jam_duties,
+            fault_duration_s)
+    ]
 
 
 def quick_campaign_config(seed: int = 7) -> CampaignConfig:
@@ -279,7 +239,13 @@ class CampaignExecutionError(RuntimeError):
 def campaign_specs(config: CampaignConfig,
                    telemetry: bool = False) -> List[RunSpec]:
     """The campaign as an ordered spec list: baseline first, then one
-    spec per cell, every spec fully independent and picklable."""
+    spec per cell, every spec fully independent and picklable.
+
+    Cells built at the registry's default parameters reference their
+    pre-validated named fault script; customised cells ship their
+    faults inline (and get the atomic pre-flight roster check in the
+    worker instead).
+    """
     from repro.core.config import BubbleZeroConfig
 
     base_config = BubbleZeroConfig(seed=config.seed)
@@ -288,10 +254,13 @@ def campaign_specs(config: CampaignConfig,
                      warmup_minutes=config.warmup_minutes,
                      telemetry=telemetry)]
     for cell in config.cells:
-        specs.append(RunSpec(label=cell.name, config=base_config,
-                             faults=tuple(cell.faults),
-                             run_minutes=config.run_minutes,
-                             warmup_minutes=config.warmup_minutes,
+        scenario = ScenarioSpec(
+            name=cell.name, config=base_config,
+            fault_script=cell.registry_name or "none",
+            faults=() if cell.registry_name else tuple(cell.faults),
+            run_minutes=config.run_minutes,
+            warmup_minutes=config.warmup_minutes)
+        specs.append(RunSpec(label=cell.name, scenario=scenario,
                              telemetry=telemetry))
     return specs
 

@@ -24,7 +24,7 @@ can never leave a half-applied scenario silently running.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Union
 
 from repro.net.packet import DataType, Packet
@@ -135,6 +135,26 @@ class FaultScript:
         ends += [f.end for f in self.faults if isinstance(f, ChannelJam)]
         return max(ends) if ends else None
 
+    def validate_roster(self, available: Sequence[str],
+                        has_radio: bool = True) -> None:
+        """Raise unless every fault addresses a device in ``available``.
+
+        Lets a registry validate a named fault script against a
+        :meth:`~repro.scenarios.topology.SystemTopology.sensor_node_ids`
+        roster once at registration, without building a live system.
+        Collects all unknown device ids into one
+        :class:`UnknownDeviceError` so a typo surfaces atomically.
+        """
+        known = set(available)
+        unknown = [f.device_id for f in self.faults
+                   if isinstance(f, (SensorStuck, SensorDrift, NodeCrash))
+                   and f.device_id not in known]
+        if unknown:
+            raise UnknownDeviceError(unknown, list(available))
+        if (any(isinstance(f, ChannelJam) for f in self.faults)
+                and not has_radio):
+            raise RuntimeError("cannot jam a system running in direct mode")
+
     def validate_against(self, system) -> None:
         """Raise unless *every* fault is schedulable on ``system``.
 
@@ -143,20 +163,18 @@ class FaultScript:
         event is queued — ``apply_to`` must be atomic, never leaving a
         partially-applied script behind.
         """
-        available = [node.device_id for node in system.bt_nodes]
-        known = set(available)
-        unknown = [f.device_id for f in self.faults
-                   if isinstance(f, (SensorStuck, SensorDrift, NodeCrash))
-                   and f.device_id not in known]
-        if unknown:
-            raise UnknownDeviceError(unknown, available)
-        if (any(isinstance(f, ChannelJam) for f in self.faults)
-                and system.medium is None):
-            raise RuntimeError("cannot jam a system running in direct mode")
+        self.validate_roster(
+            [node.device_id for node in system.bt_nodes],
+            has_radio=system.medium is not None)
 
-    def apply_to(self, system) -> None:
-        """Schedule every fault against a built (unstarted ok) system."""
-        self.validate_against(system)
+    def apply_to(self, system, validate: bool = True) -> None:
+        """Schedule every fault against a built (unstarted ok) system.
+
+        ``validate=False`` skips the roster check for scripts already
+        validated at registry-registration time.
+        """
+        if validate:
+            self.validate_against(system)
         for fault in self.faults:
             if isinstance(fault, SensorStuck):
                 node = _find_node(system, fault.device_id)
@@ -264,3 +282,33 @@ def _schedule_jam(system, jam: ChannelJam) -> None:
 
     sim.schedule_at(jam.start, start,
                     priority=PRIORITY_NETWORK, name="jam-start")
+
+
+def shift_fault(fault: Fault, t0: float) -> Fault:
+    """Rebase a cell-relative fault onto the simulator's clock."""
+    if isinstance(fault, (SensorStuck, SensorDrift)):
+        until = None if fault.until is None else fault.until + t0
+        return replace(fault, time=fault.time + t0, until=until)
+    if isinstance(fault, NodeCrash):
+        return replace(fault, time=fault.time + t0)
+    if isinstance(fault, ChannelJam):
+        return replace(fault, start=fault.start + t0, end=fault.end + t0)
+    raise TypeError(f"unknown fault: {fault!r}")  # pragma: no cover
+
+
+def describe_fault(fault: Fault) -> str:
+    """One compact human-readable clause per fault."""
+    if isinstance(fault, SensorStuck):
+        return f"stuck {fault.device_id}@{fault.value:g}"
+    if isinstance(fault, SensorDrift):
+        return f"drift {fault.device_id}{fault.offset:+g}"
+    if isinstance(fault, NodeCrash):
+        return f"crash {fault.device_id}"
+    if isinstance(fault, ChannelJam):
+        return f"jam {fault.duty:.0%} {fault.start:g}-{fault.end:g}s"
+    raise TypeError(f"unknown fault: {fault!r}")  # pragma: no cover
+
+
+def describe_faults(faults: Sequence[Fault]) -> str:
+    """Comma-joined :func:`describe_fault` over a whole script."""
+    return ", ".join(describe_fault(fault) for fault in faults)

@@ -16,7 +16,7 @@ worker count.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import BubbleZeroConfig, NetworkConfig
@@ -24,6 +24,7 @@ from repro.obs.events import EventLog
 from repro.obs.manifest import build_manifest
 from repro.runtime.pool import RunPayload
 from repro.runtime.spec import RunFailure, RunResult, RunSpec
+from repro.scenarios.registry import get_scenario
 
 
 @dataclass
@@ -89,16 +90,24 @@ class SweepResult:
 
 def sweep_specs(config: SweepConfig,
                 telemetry: bool = False) -> List[RunSpec]:
-    """One spec per seed, in the configured seed order."""
+    """One spec per seed, in the configured seed order.
+
+    Every replicate is the registry's ``sweep-default`` scenario with
+    the per-seed config and the sweep's trial-shape overrides swapped
+    in, so the sweep and the registry can never drift apart.
+    """
+    base = get_scenario("sweep-default")
     network = NetworkConfig(
         enabled=not config.direct,
         bt_mode="fixed" if config.fixed_tx else "adaptive")
     return [
         RunSpec(label=f"seed-{seed}",
-                config=BubbleZeroConfig(seed=seed, network=network),
-                script=config.script,
-                run_minutes=config.run_minutes,
-                warmup_minutes=config.warmup_minutes,
+                scenario=replace(
+                    base, name=f"seed-{seed}",
+                    config=BubbleZeroConfig(seed=seed, network=network),
+                    script=config.script,
+                    run_minutes=config.run_minutes,
+                    warmup_minutes=config.warmup_minutes),
                 telemetry=telemetry)
         for seed in config.seeds
     ]

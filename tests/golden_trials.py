@@ -2,7 +2,10 @@
 
 Shared between the regression test (tests/test_golden_trajectories.py)
 and the regeneration script (tests/golden/regenerate.py) so that both
-always run *exactly* the same scenario.
+always run *exactly* the same scenario.  Since the scenario layer
+landed, the trials themselves are registry entries
+(``golden-hvac-va`` / ``golden-network-vc``) and this module only
+swaps the physics path in.
 
 Both trials run in network mode, where macro-stepped physics never
 engages (radio events arrive every couple of seconds, below the macro
@@ -11,45 +14,36 @@ bit-identical trajectories, and a single committed fingerprint checks
 both.
 """
 
+from dataclasses import replace
 from pathlib import Path
 
-from repro.core.config import BubbleZeroConfig, NetworkConfig
 from repro.core.system import BubbleZero
-from repro.workloads.events import (
-    paper_phase_two_events,
-    periodic_disturbance_events,
-)
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import run_scenario
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 # Truncated from the paper's full durations to keep the suite fast; the
 # window still covers the 14:05 door event (trial A) and two periodic
-# disturbances (trial C).
+# disturbances (trial C).  Mirrors the registered scenarios' horizon.
 TRIAL_MINUTES = 75.0
+
+
+def _run_registered(name: str, macro: bool) -> BubbleZero:
+    spec = get_scenario(name)
+    spec = replace(spec, config=replace(spec.config,
+                                        physics_macro_step=macro))
+    return run_scenario(spec)
 
 
 def run_hvac_trial(macro: bool = True) -> BubbleZero:
     """Paper §V-A style: phase-two occupancy/door events, BT-ADPT radio."""
-    system = BubbleZero(BubbleZeroConfig(seed=7, physics_macro_step=macro))
-    system.schedule_script(paper_phase_two_events())
-    system.start()
-    system.run(minutes=TRIAL_MINUTES)
-    system.finalize()
-    return system
+    return _run_registered("golden-hvac-va", macro)
 
 
 def run_network_trial(macro: bool = True) -> BubbleZero:
     """Paper §V-C style: periodic disturbances against BT-ADPT."""
-    system = BubbleZero(BubbleZeroConfig(
-        seed=7, physics_macro_step=macro,
-        network=NetworkConfig(bt_mode="adaptive")))
-    system.schedule_script(periodic_disturbance_events(
-        system.sim.now, TRIAL_MINUTES * 60.0,
-        every_s=1800.0, duration_s=30.0))
-    system.start()
-    system.run(minutes=TRIAL_MINUTES)
-    system.finalize()
-    return system
+    return _run_registered("golden-network-vc", macro)
 
 
 TRIALS = {

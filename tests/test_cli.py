@@ -13,10 +13,33 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_run_defaults(self):
+        from repro.cli import _run_scenario_spec
+
         args = build_parser().parse_args(["run"])
-        assert args.minutes == 105.0
-        assert args.seed == 7
+        assert args.minutes is None  # flag absent: scenario decides
+        assert args.seed is None
         assert not args.direct
+        spec = _run_scenario_spec(args)
+        assert spec.run_minutes == 105.0
+        assert spec.config.seed == 7
+        assert spec.script == "none"
+
+    def test_run_scenario_flag_layers_overrides(self):
+        from repro.cli import _run_scenario_spec
+
+        args = build_parser().parse_args(
+            ["run", "--scenario", "eight-zone", "--minutes", "5",
+             "--seed", "11"])
+        spec = _run_scenario_spec(args)
+        assert spec.topology.zone_count == 8
+        assert spec.run_minutes == 5.0
+        assert spec.config.seed == 11
+
+    def test_paper_events_aliases_script(self):
+        from repro.cli import _run_scenario_spec
+
+        args = build_parser().parse_args(["run", "--paper-events"])
+        assert _run_scenario_spec(args).script == "paper-phase-two"
 
     def test_lifetime_args(self):
         args = build_parser().parse_args(["lifetime", "--hours", "1.5"])
@@ -46,6 +69,32 @@ class TestRunCommand:
     def test_fixed_tx_flag(self, capsys):
         code = main(["run", "--minutes", "2", "--fixed-tx", "--seed", "3"])
         assert code == 0
+
+
+class TestScenariosCommand:
+    def test_lists_registered_scenarios(self, capsys):
+        code = main(["scenarios"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("paper-va", "paper-vc", "eight-zone"):
+            assert name in out
+
+    def test_show_describes_one(self, capsys):
+        code = main(["scenarios", "--show", "eight-zone"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 zones" in out
+        assert "grid-8" in out
+
+    def test_show_unknown_exits_2(self, capsys):
+        code = main(["scenarios", "--show", "no-such"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_unknown_scenario_exits_2(self, capsys):
+        code = main(["run", "--scenario", "no-such"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
 
 
 class TestCopCommand:
@@ -82,6 +131,22 @@ class TestCampaignCommand:
         err = capsys.readouterr().err
         assert "no campaign cell matches" in err
         assert "stuck-high" in err  # lists the available names
+
+    def test_cells_selects_exact_names(self, capsys, tmp_path):
+        json_path = tmp_path / "campaign.json"
+        code = main(["campaign", "--quick",
+                     "--cells", "crash-room-temp,stuck-high",
+                     "--minutes", "6", "--warmup-minutes", "2",
+                     "--workers", "1", "--json", str(json_path)])
+        assert code == 0
+        loaded = json.loads(json_path.read_text())
+        names = [cell["name"] for cell in loaded["cells"]]
+        assert names == ["crash-room-temp", "stuck-high"]
+
+    def test_cells_unknown_name_exits_2(self, capsys):
+        code = main(["campaign", "--quick", "--cells", "no-such"])
+        assert code == 2
+        assert "unknown campaign cell" in capsys.readouterr().err
 
 
 class TestSweepCommand:
