@@ -12,6 +12,7 @@ Usage::
     PYTHONPATH=src python -m repro.bench                 # both trials
     PYTHONPATH=src python -m repro.bench --trial network
     PYTHONPATH=src python -m repro.bench --no-macro      # reference physics
+    PYTHONPATH=src python -m repro.bench --grid 4,32,128 # vector scaling
     PYTHONPATH=src python -m repro.bench -o BENCH_1.json
 
 Results are written as JSON (default ``BENCH_1.json`` in the current
@@ -283,6 +284,112 @@ def run_parallel_section(workers: int,
     }
 
 
+# Grid scaling section defaults: the direct-control grid trials behind
+# `--grid`, and how many seed replicas the lockstep batch stacks.
+GRID_ZONES = (4, 32, 128)
+GRID_BATCH_SEEDS = 16
+
+
+def run_grid_trial(zones: int, vector: bool) -> Dict[str, object]:
+    """One timed run of the ``grid-<zones>`` scenario on one physics
+    path (``vector=False`` → scalar per-zone objects)."""
+    spec = get_scenario(f"grid-{zones}")
+    spec = replace(spec, config=replace(spec.config,
+                                        physics_vector=vector))
+    system, _ = prepare_run(spec)
+    system.start()
+    t0 = time.perf_counter()
+    system.run(minutes=spec.run_minutes)
+    wall_s = time.perf_counter() - t0
+    system.finalize()
+    events = system.sim.events_dispatched
+    return {
+        "wall_s": wall_s,
+        "sim_s": spec.run_minutes * 60.0,
+        "events": events,
+        "events_per_s": events / wall_s,
+        "zone_events_per_s": zones * events / wall_s,
+        "discrete_hash": discrete_log_hash(system),
+        "mean_temp_c": system.plant.room.mean_temp_c(),
+    }
+
+
+def run_grid_section(zone_counts: List[int],
+                     batch_seeds: int = GRID_BATCH_SEEDS,
+                     repeat: int = 1) -> Dict[str, object]:
+    """Scaling sweep of the vectorized physics core over grid sizes.
+
+    For each zone count the ``grid-<zones>`` scenario runs on both
+    physics paths (best-of-``repeat`` wall clocks).  The two paths must
+    produce identical discrete log hashes — the SoA core is bit-exact,
+    so any mismatch raises rather than reporting a speedup over
+    different physics.  A lockstep seed-replication batch
+    (:class:`repro.runtime.lockstep.LockstepBatch`) then stacks
+    ``batch_seeds`` replicas of the same scenario; its headline number
+    is events-per-second *equivalent* — batch size times the master's
+    events over the batch wall clock, i.e. how fast one process
+    delivers seed-replicated trials compared to running them one at a
+    time on the scalar path.
+    """
+    from repro.runtime.lockstep import LockstepBatch
+
+    section: Dict[str, object] = {
+        "batch_seeds": batch_seeds,
+        "rows": [],
+    }
+    for zones in zone_counts:
+        scalar = min((run_grid_trial(zones, vector=False)
+                      for _ in range(repeat)),
+                     key=lambda r: r["wall_s"])
+        vector = min((run_grid_trial(zones, vector=True)
+                      for _ in range(repeat)),
+                     key=lambda r: r["wall_s"])
+        if scalar["discrete_hash"] != vector["discrete_hash"]:
+            raise RuntimeError(
+                f"grid-{zones}: vector path diverged from scalar "
+                f"(discrete hashes differ) — the SoA core must be "
+                f"bit-exact")
+        spec = get_scenario(f"grid-{zones}")
+        seeds = list(range(7, 7 + batch_seeds))
+        batch_wall = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            batch = LockstepBatch(spec, seeds)
+            batch.run()
+            batch_wall = min(batch_wall, time.perf_counter() - t0)
+        events = int(scalar["events"])
+        eq = batch_seeds * events / batch_wall
+        row = {
+            "zones": zones,
+            "events": events,
+            "scalar": {k: scalar[k] for k in
+                       ("wall_s", "events_per_s", "zone_events_per_s")},
+            "vector": {k: vector[k] for k in
+                       ("wall_s", "events_per_s", "zone_events_per_s")},
+            "vector_speedup": scalar["wall_s"] / vector["wall_s"],
+            "hashes_equal": True,
+            "discrete_hash": scalar["discrete_hash"],
+            "batch": {
+                "seeds": batch_seeds,
+                "wall_s": batch_wall,
+                "events_per_s_equiv": eq,
+                "speedup_vs_scalar": eq / float(scalar["events_per_s"]),
+            },
+        }
+        rows = section["rows"]
+        assert isinstance(rows, list)
+        rows.append(row)
+        print(f"  grid-{zones}: scalar {scalar['wall_s']:.2f}s "
+              f"({scalar['zone_events_per_s']:,.0f} zone-ev/s) | "
+              f"vector {vector['wall_s']:.2f}s "
+              f"({row['vector_speedup']:.2f}x) | "
+              f"batch[{batch_seeds}] {batch_wall:.2f}s -> "
+              f"{eq:,.0f} ev/s-eq "
+              f"({row['batch']['speedup_vs_scalar']:.2f}x vs scalar)",
+              flush=True)
+    return section
+
+
 def _flatten(prefix: str, value: object, out: Dict[str, object]) -> None:
     if isinstance(value, dict):
         for key, sub in value.items():
@@ -484,6 +591,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--parallel-runs", type=int, default=PARALLEL_RUNS,
                         help="independent seeded runs in the parallel "
                              "section")
+    parser.add_argument("--grid", metavar="ZONES", default=None,
+                        help="also run the vector-core scaling section "
+                             "over these comma-separated grid sizes "
+                             "(e.g. 4,32,128)")
+    parser.add_argument("--grid-seeds", type=int, default=GRID_BATCH_SEEDS,
+                        help="seed replicas in the lockstep batch of "
+                             "the grid section")
     parser.add_argument("--obs", action="store_true",
                         help="rerun the trials with observability on; "
                              "record the wall-clock overhead and assert "
@@ -546,6 +660,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {args.output}")
             print("observability overhead budget FAILED", file=sys.stderr)
             return 1
+    if args.grid:
+        zone_counts = [int(z) for z in args.grid.split(",") if z]
+        print(f"running grid scaling section (zones: "
+              f"{', '.join(map(str, zone_counts))}; "
+              f"batch of {args.grid_seeds} seeds)...", flush=True)
+        report["grid"] = run_grid_section(zone_counts,
+                                          batch_seeds=args.grid_seeds,
+                                          repeat=args.repeat)
     if args.workers > 0:
         print(f"running parallel section ({args.workers} workers, "
               f"{args.parallel_runs} runs)...", flush=True)

@@ -86,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--workers", type=int, default=0,
                        help="also run the parallel fan-out section with "
                             "this many workers (0: skip)")
+    bench.add_argument("--grid", metavar="ZONES", default=None,
+                       help="also run the vector-core scaling section "
+                            "over these comma-separated grid sizes "
+                            "(e.g. 4,32,128)")
+    bench.add_argument("--grid-seeds", type=int, default=16,
+                       help="seed replicas in the grid section's "
+                            "lockstep batch")
     bench.add_argument("--obs", action="store_true",
                        help="also measure observability overhead: rerun "
                             "the trials with telemetry on and assert "
@@ -455,6 +462,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
                  "--workers", str(args.workers)]
     if args.no_macro:
         forwarded.append("--no-macro")
+    if args.grid:
+        forwarded.extend(["--grid", args.grid,
+                          "--grid-seeds", str(args.grid_seeds)])
     if args.obs:
         forwarded.append("--obs")
     if args.telemetry:

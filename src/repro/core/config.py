@@ -57,6 +57,12 @@ class BubbleZeroConfig:
     # gap, so trajectories match plain 1 Hz stepping within the
     # documented tolerance; set False to force the reference behaviour.
     physics_macro_step: bool = True
+    # Advance the plant through the structure-of-arrays fused kernel
+    # (repro.physics.vector) instead of the per-object scalar loop.  The
+    # two paths are bit-identical — the vector core repeats every
+    # floating-point expression of the scalar one — so this only changes
+    # speed; set False to run the scalar reference implementation.
+    physics_vector: bool = True
     network: NetworkConfig = NetworkConfig()
     comfort: ComfortConfig = ComfortConfig()
     outdoor: OutdoorConfig = OutdoorConfig()

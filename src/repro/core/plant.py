@@ -81,7 +81,8 @@ class Plant:
                  room: Optional[Room] = None,
                  radiant_chiller: Optional[CarnotFractionChiller] = None,
                  vent_chiller: Optional[CarnotFractionChiller] = None,
-                 topology: Optional[SystemTopology] = None) -> None:
+                 topology: Optional[SystemTopology] = None,
+                 vector: bool = False) -> None:
         self.weather = weather
         self.topology = topology or paper_topology()
         topo = self.topology
@@ -133,6 +134,12 @@ class Plant:
         self.time_integrated_s = 0.0
         self.fan_energy_j = 0.0
         self.flap_energy_j = 0.0
+        # Structure-of-arrays fused integrator (bit-identical fast
+        # path); imported lazily so the scalar plant never pays for it.
+        self._vector_kernel = None
+        if vector:
+            from repro.physics.vector import VectorPlantKernel
+            self._vector_kernel = VectorPlantKernel(self)
 
     # ------------------------------------------------------------------
     # Truth accessors for the sensor layer
@@ -189,6 +196,9 @@ class Plant:
     # ------------------------------------------------------------------
     def step(self, now: float, dt: float) -> None:
         """Advance the whole plant by ``dt`` seconds."""
+        if self._vector_kernel is not None:
+            self._vector_kernel.step(now, dt)
+            return
         outdoor = self.outdoor(now)
         reject_temp = outdoor.temp_c + CONDENSER_APPROACH_K
         inputs = self._exchange_tick(outdoor, dt)
@@ -215,6 +225,9 @@ class Plant:
         seconds involved, and the averaged inputs carry exactly the
         energy the substeps exchanged.
         """
+        if self._vector_kernel is not None:
+            self._vector_kernel.macro_step(now, ticks, dt)
+            return
         outdoor = self.outdoor(now)
         reject_temp = outdoor.temp_c + CONDENSER_APPROACH_K
         # The room is frozen during the gap, so the tank ambient is too.

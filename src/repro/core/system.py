@@ -76,7 +76,8 @@ class BubbleZero:
                              obs=obs)
         self.weather = weather or ConstantWeather(
             self.config.outdoor.temp_c, self.config.outdoor.dew_point_c)
-        self.plant = Plant(self.weather, topology=self.topology)
+        self.plant = Plant(self.weather, topology=self.topology,
+                           vector=self.config.physics_vector)
         self.bt_nodes: List[BtSensorNode] = []
         self.boards: List[Board] = []
         self.medium: Optional[BroadcastMedium] = None
@@ -96,15 +97,27 @@ class BubbleZero:
         self._physics_ticks = 1
         self.physics_macro_steps = 0
         self.physics_unit_steps = 0
+        # Distinct event name per physics backend so the stride-sampled
+        # profiler attributes the vector core as its own component.
+        self._physics_event_name = ("physics-vector"
+                                    if self.config.physics_vector
+                                    else "physics")
         if not self.config.physics_macro_step:
             self._physics_task = PeriodicTask(
-                self.sim, "physics", self.config.physics_dt_s,
+                self.sim, self._physics_event_name,
+                self.config.physics_dt_s,
                 self._physics_step, priority=PRIORITY_PHYSICS,
                 phase=self.config.physics_dt_s)
         self._recorder_task = PeriodicTask(
             self.sim, "recorder", self.config.record_period_s, self._record,
             priority=PRIORITY_MONITOR, phase=0.0)
         self._started = False
+        # Lockstep batch driver (repro.runtime.lockstep): when attached,
+        # this system becomes the *master* of a replica batch — its event
+        # schedule is unchanged, but every physics gap and control step
+        # is mirrored to the driver, which advances the other replicas
+        # on the identical timeline.
+        self._lockstep = None
         self.supervisor = self._build_supervisor()
 
     # ------------------------------------------------------------------
@@ -229,6 +242,20 @@ class BubbleZero:
             unit.airbox.set_coil_pump_voltage(command.coil_pump_voltage)
             unit.airbox.set_fan_flow_demand(command.fan_flow_demand_m3s)
             unit.flap.command(command.flap_open)
+        if self._lockstep is not None:
+            self._lockstep.on_control(now)
+
+    def attach_lockstep(self, driver) -> None:
+        """Make this system the master of a lockstep replica batch.
+
+        ``driver`` (see :mod:`repro.runtime.lockstep`) receives
+        ``on_gap(now, ticks, dt)`` after every physics firing and
+        ``on_control(now)`` after every direct control step, in exactly
+        the order the master executes them, so the replica batch shares
+        the master's event timeline without scheduling any events of
+        its own.
+        """
+        self._lockstep = driver
 
     def _build_supervisor(self):
         """Register every controller with a shared supervisor, so
@@ -386,7 +413,8 @@ class BubbleZero:
                 k = _MACRO_MAX_TICKS
         self._physics_ticks = k
         self._physics_pending = sim.queue.push(
-            base + k * dt, PRIORITY_PHYSICS, self._physics_fire, "physics")
+            base + k * dt, PRIORITY_PHYSICS, self._physics_fire,
+            self._physics_event_name)
 
     def _physics_fire(self) -> None:
         self._physics_pending = None
@@ -399,6 +427,8 @@ class BubbleZero:
         else:
             self.plant.macro_step(now, k, dt)
             self.physics_macro_steps += 1
+        if self._lockstep is not None:
+            self._lockstep.on_gap(now, k, dt)
         self._physics_last = now
         self._commit_physics()
 
@@ -427,6 +457,8 @@ class BubbleZero:
         else:
             self.plant.macro_step(now, k, dt)
             self.physics_macro_steps += 1
+        if self._lockstep is not None:
+            self._lockstep.on_gap(now, k, dt)
         self._physics_last = self._physics_last + k * dt
         self._commit_physics()
 

@@ -168,12 +168,25 @@ def health_snapshot(system) -> Dict[str, object]:
     from repro.physics import psychrometrics
     psychro = {relation: info["hit_rate"]
                for relation, info in psychrometrics.cache_stats().items()}
+    room = system.plant.room
+    gaps = room.macro_gaps
+    physics = {
+        "vector": getattr(system.plant, "_vector_kernel", None) is not None,
+        "macro_step": system.config.physics_macro_step,
+        "zones": len(room.subspaces),
+        "macro_gaps": gaps,
+        "macro_fallbacks": room.macro_fallbacks,
+        "fallback_rate": (room.macro_fallbacks / gaps) if gaps else 0.0,
+        "decomp_cache_entries": len(getattr(room, "_macro_cache", {})),
+        "condensation_events": room.condensation_events,
+    }
     supervisor = system.supervisor
     return {
         "t": now,
         "nodes": nodes,
         "boards": boards,
         "tanks": tanks,
+        "physics": physics,
         "supervisor": {
             "conservative_mode": supervisor.conservative_mode,
             "conservative_entries": supervisor.conservative_entries,

@@ -32,8 +32,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-#: The attribution vocabulary, in display order.
-COMPONENTS = ("engine", "physics", "sensing", "net", "control", "workload")
+#: The attribution vocabulary, in display order.  ``physics`` is the
+#: scalar reference integrator, ``physics-vector`` the SoA fused kernel
+#: (repro.physics.vector) — kept separate so a speed regression in the
+#: vector core is visible in telemetry rather than averaged away.
+COMPONENTS = ("engine", "physics", "physics-vector", "sensing", "net",
+              "control", "workload")
 
 
 def classify_component(name: str) -> str:
@@ -49,6 +53,8 @@ def classify_component(name: str) -> str:
     """
     if name == "physics":
         return "physics"
+    if name == "physics-vector":
+        return "physics-vector"
     if (name.startswith("cca/") or name.startswith("mac-tx/")
             or name.startswith("mac-next/") or name == "rx-complete"
             or name.startswith("jam")):

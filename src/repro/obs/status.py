@@ -248,6 +248,27 @@ def render_status(telemetry: Dict[str, object]) -> str:
                 ["board", "tier", "degraded", "fallback", "staleness s"],
                 board_rows))
 
+    physics_rows = []
+    for label in health:
+        physics = health[label].get("physics") or {}
+        if physics:
+            physics_rows.append((
+                label,
+                "SoA" if physics.get("vector") else "scalar",
+                int(physics.get("zones", 0)),
+                "yes" if physics.get("macro_step") else "no",
+                int(physics.get("macro_gaps", 0)),
+                int(physics.get("macro_fallbacks", 0)),
+                f"{float(physics.get('fallback_rate', 0.0)):.1%}",
+                int(physics.get("decomp_cache_entries", 0)),
+            ))
+    if physics_rows:
+        sections.append(render_table(
+            "Physics core",
+            ["run", "path", "zones", "macro", "gaps", "fallbacks",
+             "fallback rate", "decomp cache"],
+            physics_rows))
+
     profile = telemetry.get("profile") or {}
     component_rows: Dict[str, List[float]] = {}
     for report in profile.values():

@@ -29,6 +29,8 @@ from __future__ import annotations
 import math
 from functools import lru_cache
 
+import numpy as np
+
 # Magnus coefficients, as given in the paper.
 MAGNUS_A = 243.12  # degC
 MAGNUS_B = 17.62   # dimensionless
@@ -72,7 +74,7 @@ def configure_cache(enabled: bool) -> None:
 
 def cache_clear() -> None:
     """Drop all memoized entries (useful for benchmarking cold starts)."""
-    for fn in (_dew_point_cached, _saturation_vapor_pressure_cached,
+    for fn in (_dew_point_cached,
                _humidity_ratio_cached, _humidity_ratio_from_dew_point_cached,
                _dew_point_from_humidity_ratio_cached,
                _relative_humidity_from_ratio_cached,
@@ -100,8 +102,6 @@ def cache_info() -> dict:
     """Hit/miss statistics of every memoized relation, keyed by name."""
     return {
         "dew_point": _dew_point_cached.cache_info()._asdict(),
-        "saturation_vapor_pressure":
-            _saturation_vapor_pressure_cached.cache_info()._asdict(),
         "humidity_ratio": _humidity_ratio_cached.cache_info()._asdict(),
         "humidity_ratio_from_dew_point":
             _humidity_ratio_from_dew_point_cached.cache_info()._asdict(),
@@ -189,18 +189,21 @@ def _saturation_vapor_pressure_exact(temp_c: float) -> float:
     return 611.2 * math.exp(MAGNUS_B * temp_c / (MAGNUS_A + temp_c))
 
 
-_saturation_vapor_pressure_cached = (
-    lru_cache(maxsize=_CACHE_SIZE)(_saturation_vapor_pressure_exact))
-
-
 def saturation_vapor_pressure(temp_c: float) -> float:
     """Saturation vapour pressure over liquid water, Pa (Magnus form).
 
     Uses the same (a, b) coefficients as the paper's dew-point formula so
     the two are mutually consistent: 611.2 * exp(bT / (a+T)).
+
+    Deliberately *not* memoized: every hot caller reaches it through a
+    relation that is itself memoized (``humidity_ratio``) or through
+    one-off analysis code, so its own LRU layer recorded zero hits in
+    the BENCH_3 profile and only paid dict overhead.  The key
+    quantisation is kept so dropping the cache did not move a single
+    bit (the memo never changed values, only recall).
     """
     if _CACHE_ENABLED:
-        return _saturation_vapor_pressure_cached(round(temp_c, _KEY_DECIMALS))
+        return _saturation_vapor_pressure_exact(round(temp_c, _KEY_DECIMALS))
     return _saturation_vapor_pressure_exact(temp_c)
 
 
@@ -333,3 +336,65 @@ def condensation_occurs(surface_temp_c: float, air_temp_c: float,
     out of air at the given state — the central hazard the radiant
     cooling module must avoid (paper §III-B)."""
     return surface_temp_c < dew_point(air_temp_c, air_rh_percent)
+
+
+# ---------------------------------------------------------------------------
+# Array-accepting variants (vectorized physics / lockstep batch lane)
+# ---------------------------------------------------------------------------
+# These evaluate the exact formulas elementwise with numpy ufuncs.  They
+# intentionally do NOT reproduce the scalar layer's memo-key rounding:
+# np.round and Python's round() disagree in the last ulp for some values
+# (see DESIGN.md §11), so emulating the quantisation would *add*
+# divergence sources, not remove them.  Consumers that need bit-for-bit
+# agreement with the scalar path (the per-zone SoA kernel) keep calling
+# the scalar functions; consumers that accept ~1e-12 relative divergence
+# (the `[batch, zone]` lockstep lane, analysis sweeps) use these.
+
+def saturation_vapor_pressure_array(temp_c: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`saturation_vapor_pressure` (exact, unrounded)."""
+    t = np.asarray(temp_c, dtype=np.float64)
+    return 611.2 * np.exp(MAGNUS_B * t / (MAGNUS_A + t))
+
+
+def dew_point_array(temp_c: np.ndarray,
+                    rh_percent: np.ndarray) -> np.ndarray:
+    """Elementwise Magnus dew point; RH is clipped into (0, 100]."""
+    t = np.asarray(temp_c, dtype=np.float64)
+    rh = np.clip(np.asarray(rh_percent, dtype=np.float64), _MIN_RH, 100.0)
+    gamma = np.log(rh / 100.0) + (MAGNUS_B * t) / (MAGNUS_A + t)
+    return MAGNUS_A * gamma / (MAGNUS_B - gamma)
+
+
+def humidity_ratio_from_dew_point_array(
+        dew_c: np.ndarray, pressure_pa: float = ATM_PRESSURE) -> np.ndarray:
+    """Elementwise :func:`humidity_ratio_from_dew_point`."""
+    p_vap = saturation_vapor_pressure_array(dew_c)
+    return EPSILON * p_vap / (pressure_pa - p_vap)
+
+
+def dew_point_from_humidity_ratio_array(
+        w: np.ndarray, pressure_pa: float = ATM_PRESSURE) -> np.ndarray:
+    """Elementwise :func:`dew_point_from_humidity_ratio` (w must be > 0)."""
+    w = np.asarray(w, dtype=np.float64)
+    p_vap = pressure_pa * w / (EPSILON + w)
+    log_ratio = np.log(p_vap / 611.2)
+    return MAGNUS_A * log_ratio / (MAGNUS_B - log_ratio)
+
+
+def relative_humidity_from_ratio_array(
+        temp_c: np.ndarray, w: np.ndarray,
+        pressure_pa: float = ATM_PRESSURE) -> np.ndarray:
+    """Elementwise :func:`relative_humidity_from_ratio`."""
+    w = np.asarray(w, dtype=np.float64)
+    p_vap = pressure_pa * w / (EPSILON + w)
+    rh = 100.0 * p_vap / saturation_vapor_pressure_array(temp_c)
+    return np.clip(rh, _MIN_RH, 100.0)
+
+
+def moist_air_enthalpy_array(temp_c: np.ndarray,
+                             w: np.ndarray) -> np.ndarray:
+    """Elementwise :func:`moist_air_enthalpy`."""
+    t = np.asarray(temp_c, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    return CP_DRY_AIR * t + w * (LATENT_HEAT_VAPORIZATION
+                                 + CP_WATER_VAPOR * t)

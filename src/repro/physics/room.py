@@ -174,6 +174,11 @@ class Room:
         ]
         self._max_euler_dt = 1.0
         self.condensation_events = 0
+        # Macro-solver health counters (read by obs.collect's physics
+        # snapshot): closed-form gaps solved vs gaps handed back to the
+        # per-tick integrator by the clamp/degeneracy probes.
+        self.macro_gaps = 0
+        self.macro_fallbacks = 0
         # Step-invariant factors of the Euler update, hoisted out of the
         # per-tick loop.  ``params`` is a frozen dataclass, so these stay
         # valid for the life of the Room.  Each expression repeats the
@@ -375,18 +380,40 @@ class Room:
             raise ValueError(
                 f"expected {len(self.subspaces)} subspace inputs, "
                 f"got {len(inputs)}")
+        x0, diag, rhs = self._assemble_macro(outdoor, inputs)
+        new_state = self._solve_macro_gap(dt, x0, diag, rhs,
+                                          outdoor.co2_ppm * 0.5)
+        self.macro_gaps += 1
+        if new_state is None:
+            self.macro_fallbacks += 1
+            self.step(dt, outdoor, inputs)
+            return
+        new_t, new_w, new_c = new_state
+        for i, subspace in enumerate(self.subspaces):
+            # float() keeps np.float64 out of the live state.  The
+            # conversion is value-exact, but the type matters: round()
+            # on np.float64 is not correctly rounded, so letting numpy
+            # scalars leak into the psychrometrics memo keys makes the
+            # trajectory depend on which path produced a value.
+            subspace.state = SubspaceState(float(new_t[i]), float(new_w[i]),
+                                           float(new_c[i]))
+
+    def _assemble_macro(self, outdoor: OutdoorState,
+                        inputs: Sequence[SubspaceInputs]
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Assemble the stacked linear systems for one macro gap.
+
+        Returns ``(x0, diag, rhs)`` as (3, n) arrays: the initial state,
+        the input-dependent diagonal losses and the (unscaled) forcing
+        of the three quantities.  The state-independent coupling pattern
+        lives in ``self._macro_base``.
+        """
         params = self.params
         subspaces = self.subspaces
         n = len(subspaces)
         outdoor_w = outdoor.humidity_ratio
         outdoor_temp = outdoor.temp_c
         outdoor_co2 = outdoor.co2_ppm
-
-        # The three systems (temperature, humidity, CO2) are assembled
-        # and solved together as a stacked (3, n, n) batch: the
-        # state-independent coupling pattern comes precomputed from
-        # __init__, only the diagonal losses and the forcing depend on
-        # the inputs.
         diag = np.zeros((3, n))
         rhs = np.zeros((3, n))
         x0 = np.empty((3, n))
@@ -418,13 +445,20 @@ class Room:
             g = inp.vent_flow_m3s + infil_flow + door_flow
             diag[2, i] = g
             rhs[2, i] = g * outdoor_co2 + inp.occupants * OCCUPANT_CO2_M3S * 1e6
+        return x0, diag, rhs
 
-        scale = self._macro_scale
-        rhs /= scale
+    def _macro_decomposition(self, diag: np.ndarray) -> Optional[tuple]:
+        """Eigendecomposition for a diagonal-loss vector, memoised.
 
+        Returns ``(a_inv, vals, vecs, vecs_inv)`` or ``None`` when the
+        linear algebra degenerates (caller falls back to per-tick
+        integration).
+        """
         key = diag.tobytes()
         decomp = self._macro_cache.get(key)
         if decomp is None:
+            n = len(self.subspaces)
+            scale = self._macro_scale
             mats = self._macro_base.copy()
             idx = np.arange(n)
             mats[:, idx, idx] -= diag
@@ -434,12 +468,30 @@ class Room:
                 vals, vecs = np.linalg.eig(mats)
                 vecs_inv = np.linalg.inv(vecs)
             except np.linalg.LinAlgError:
-                self.step(dt, outdoor, inputs)
-                return
+                return None
             if len(self._macro_cache) >= 64:
                 self._macro_cache.clear()
             decomp = (a_inv, vals, vecs, vecs_inv)
             self._macro_cache[key] = decomp
+        return decomp
+
+    def _solve_macro_gap(self, dt: float, x0: np.ndarray, diag: np.ndarray,
+                         rhs: np.ndarray, co2_floor: float
+                         ) -> Optional[np.ndarray]:
+        """Closed-form advance of one assembled gap; ``None`` = fall back.
+
+        ``rhs`` is the unscaled forcing from :meth:`_assemble_macro`;
+        the row scaling is applied here.  Returns the (3, n) end state,
+        or ``None`` when the decomposition degenerates or the trajectory
+        touches a clamp floor — in either case the caller must integrate
+        the gap through :meth:`step` so it stays bit-identical to the
+        per-tick reference.
+        """
+        rhs = rhs / self._macro_scale
+
+        decomp = self._macro_decomposition(diag)
+        if decomp is None:
+            return None
         a_inv, vals, vecs, vecs_inv = decomp
 
         # Exact solution of x' = A x + r over the gap:
@@ -462,7 +514,6 @@ class Room:
         # capacity scaling), so trajectories are sums of real
         # exponentials and the three probes bracket any excursion the
         # scheduler's gap lengths can produce.
-        co2_floor = outdoor_co2 * 0.5
         mid_state = ((vecs @ (np.exp(vals * (0.5 * dt))[..., None] * y0))
                      [..., 0] + x_eq).real
         if (new_state[1].min() < 1e-5 or mid_state[1].min() < 1e-5
@@ -470,12 +521,8 @@ class Room:
                 or new_state[2].min() < co2_floor
                 or mid_state[2].min() < co2_floor
                 or x0[2].min() <= co2_floor):
-            self.step(dt, outdoor, inputs)
-            return
-
-        new_t, new_w, new_c = new_state
-        for i, subspace in enumerate(subspaces):
-            subspace.state = SubspaceState(new_t[i], new_w[i], new_c[i])
+            return None
+        return new_state
 
     # ------------------------------------------------------------------
     def record_condensation(self) -> None:

@@ -296,5 +296,21 @@ def _register_all() -> None:
         topology=grid_topology(8, cols=4),
         run_minutes=30.0))
 
+    # Direct-mode grid trials behind the vectorized-core scaling bench
+    # (`repro bench --grid`) and the lockstep seed-replication lane
+    # (repro.runtime.lockstep).  Tropical weather makes the seed reach
+    # the physics, so replicated seeds produce distinct trajectories
+    # even without the network stack's sensor-noise RNG.
+    for zones, cols in ((4, 2), (8, 4), (32, 8), (128, 16)):
+        register_scenario(ScenarioSpec(
+            name=f"grid-{zones}",
+            description=f"{zones}-zone direct-control grid under "
+                        "tropical weather (vector-core scaling trial)",
+            config=BubbleZeroConfig(
+                seed=7, network=NetworkConfig(enabled=False)),
+            topology=grid_topology(zones, cols=cols),
+            weather="tropical",
+            run_minutes=10.0))
+
 
 _register_all()

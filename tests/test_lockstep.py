@@ -1,0 +1,137 @@
+"""Tests for the lockstep seed-replication batch (repro.runtime.lockstep).
+
+The batch lane's contract has two tiers (see the module docstring):
+
+* the **master** (replica 0) is a completely normal solo system and
+  must stay bit-exact against an unbatched run of the same seed;
+* the **replicas** are a batched transcription with the tick-start
+  tank-temperature relaxation, so they track their solo runs to a
+  small tolerance — deterministically, run after run.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.fingerprint import discrete_log_hash
+from repro.runtime.lockstep import LockstepBatch, run_lockstep
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import run_scenario
+
+# Normalized per-quantity tolerance for replica-vs-solo agreement.
+# Measured divergence on grid trials is ~3e-4 (the tick-start tank
+# relaxation); an order of magnitude of headroom keeps the test
+# meaningful without being brittle.
+REPLICA_TOL = 5e-3
+
+SEEDS = [7, 8, 9, 10]
+
+
+def _spec(name="grid-8", minutes=5.0):
+    return dataclasses.replace(get_scenario(name), run_minutes=minutes)
+
+
+def _solo(spec, seed):
+    solo_spec = dataclasses.replace(
+        spec, config=dataclasses.replace(spec.config, seed=seed))
+    return run_scenario(solo_spec)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return run_lockstep(_spec(), SEEDS)
+
+
+@pytest.fixture(scope="module")
+def solos():
+    spec = _spec()
+    return [_solo(spec, seed) for seed in SEEDS]
+
+
+class TestMasterExactness:
+    def test_master_hash_matches_solo(self, batch, solos):
+        assert (discrete_log_hash(batch.master)
+                == discrete_log_hash(solos[0]))
+
+    def test_master_state_bitwise(self, batch, solos):
+        got = batch.master.plant._vector_kernel.arrays
+        ref = solos[0].plant._vector_kernel.arrays
+        assert np.array_equal(got.temp_c, ref.temp_c)
+        assert np.array_equal(got.humidity_ratio, ref.humidity_ratio)
+        assert np.array_equal(got.co2_ppm, ref.co2_ppm)
+        assert (batch.master.plant.meter_snapshot()
+                == solos[0].plant.meter_snapshot())
+
+
+class TestReplicaTolerance:
+    def test_replicas_track_their_solo_runs(self, batch, solos):
+        for k, seed in enumerate(SEEDS[1:], start=1):
+            got = batch.systems[k].plant
+            ref = solos[k].plant
+            ga, ra = got._vector_kernel.arrays, ref._vector_kernel.arrays
+            assert np.abs(ga.temp_c - ra.temp_c).max() < REPLICA_TOL
+            assert (np.abs(ga.humidity_ratio - ra.humidity_ratio).max()
+                    < REPLICA_TOL * 1e-3)
+            assert np.abs(ga.co2_ppm - ra.co2_ppm).max() < REPLICA_TOL * 1e3
+            rm, gm = ref.meter_snapshot(), got.meter_snapshot()
+            for key in rm:
+                assert abs(gm[key] - rm[key]) <= (
+                    REPLICA_TOL * max(1.0, abs(rm[key]))), key
+
+    def test_replica_guard_counters_match(self, batch, solos):
+        for k in range(1, len(SEEDS)):
+            assert (batch.systems[k].plant.guard.violations
+                    == solos[k].plant.guard.violations)
+
+    def test_replicas_are_distinct_trajectories(self, batch):
+        # Tropical weather feeds the seed into the physics: replicated
+        # seeds must not collapse onto the master's trajectory.
+        master = batch.master.plant._vector_kernel.arrays.temp_c
+        for k in range(1, len(SEEDS)):
+            rep = batch.systems[k].plant._vector_kernel.arrays.temp_c
+            assert np.abs(rep - master).max() > 1e-6
+
+
+class TestDeterminism:
+    def test_rerun_is_bitwise_identical(self):
+        spec = _spec(minutes=3.0)
+        first = run_lockstep(spec, SEEDS[:3])
+        second = run_lockstep(spec, SEEDS[:3])
+        for a, b in zip(first.systems, second.systems):
+            aa = a.plant._vector_kernel.arrays
+            ba = b.plant._vector_kernel.arrays
+            assert np.array_equal(aa.temp_c, ba.temp_c)
+            assert np.array_equal(aa.humidity_ratio, ba.humidity_ratio)
+            assert np.array_equal(aa.co2_ppm, ba.co2_ppm)
+            assert a.plant.meter_snapshot() == b.plant.meter_snapshot()
+
+
+class TestValidation:
+    def test_rejects_duplicate_seeds(self):
+        with pytest.raises(ValueError, match="distinct"):
+            LockstepBatch(_spec(), [7, 7])
+
+    def test_rejects_networked_scenarios(self):
+        with pytest.raises(ValueError, match="direct"):
+            LockstepBatch(get_scenario("tropical-day"), [7, 8])
+
+    def test_rejects_scripted_scenarios(self):
+        spec = dataclasses.replace(
+            _spec(), script="paper-phase-two")
+        with pytest.raises(ValueError, match="scriptless"):
+            LockstepBatch(spec, [7, 8])
+
+    def test_rejects_scalar_physics(self):
+        spec = _spec()
+        spec = dataclasses.replace(
+            spec, config=dataclasses.replace(
+                spec.config, physics_vector=False))
+        with pytest.raises(ValueError, match="physics_vector"):
+            LockstepBatch(spec, [7, 8])
+
+    def test_single_seed_batch_is_just_the_master(self):
+        batch = run_lockstep(_spec(minutes=2.0), [7])
+        solo = _solo(_spec(minutes=2.0), 7)
+        assert (discrete_log_hash(batch.master)
+                == discrete_log_hash(solo))

@@ -248,6 +248,7 @@ class TestSchema:
 class TestProfiler:
     def test_classify_component(self):
         assert classify_component("physics") == "physics"
+        assert classify_component("physics-vector") == "physics-vector"
         assert classify_component("cca/bt-0") == "net"
         assert classify_component("mac-tx/bt-3") == "net"
         assert classify_component("rx-complete") == "net"
@@ -284,8 +285,8 @@ class TestProfiler:
         assert [row["name"] for row in top] == ["dear", "cheap"]
 
     def test_component_vocabulary_is_stable(self):
-        assert COMPONENTS == ("engine", "physics", "sensing", "net",
-                              "control", "workload")
+        assert COMPONENTS == ("engine", "physics", "physics-vector",
+                              "sensing", "net", "control", "workload")
 
 
 class TestManifest:

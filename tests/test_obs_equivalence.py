@@ -86,7 +86,9 @@ class TestBitIdentity:
         # stride=1 times every event, so the count is exact and the
         # attribution must cover the whole run.
         assert report["events_seen"] == system.sim.events_dispatched
-        for component in ("physics", "sensing", "net", "control"):
+        # The default config runs the SoA kernel, so physics time lands
+        # on the vector component.
+        for component in ("physics-vector", "sensing", "net", "control"):
             assert report["components"][component]["events"] > 0
 
 
