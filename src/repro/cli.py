@@ -167,6 +167,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record per-replicate observability into "
                             "this directory; runs stay bit-identical")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded continuous-chaos endurance campaign with rolling "
+             "SLO scoring (see repro.workloads.chaos)")
+    chaos.add_argument("--scenario", default="chaos-paper",
+                       help="registered chaos base scenario (default: "
+                            "chaos-paper; chaos-grid-8/-32 scale out)")
+    chaos.add_argument("--hours", type=float, default=48.0,
+                       help="endurance horizon per run (default: 48)")
+    chaos.add_argument("--seeds", type=int, default=1,
+                       help="number of hazard seeds (default: 1)")
+    chaos.add_argument("--seed-base", type=int, default=7,
+                       help="first seed of the range (default: 7)")
+    chaos.add_argument("--controllers", default="adaptive,fixed",
+                       help="comma-separated controller variants to run "
+                            "per seed (default: adaptive,fixed)")
+    chaos.add_argument("--window-minutes", type=float, default=60.0,
+                       help="rolling SLO window length (default: 60)")
+    chaos.add_argument("--warmup-minutes", type=float, default=30.0,
+                       help="cold-start transient excluded from scoring "
+                            "(default: 30)")
+    chaos.add_argument("--hazard", choices=["default", "quick"],
+                       default="default",
+                       help="base hazard profile: the endurance default "
+                            "or the accelerated quick profile behind "
+                            "the short CI smoke")
+    chaos.add_argument("--rate-scale", type=float, default=1.0,
+                       help="multiply every hazard rate (and accelerate "
+                            "battery wear-out) by this factor")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="process-pool width (default: cpu count, "
+                            "capped at the number of runs)")
+    chaos.add_argument("--timeout-s", type=float, default=None,
+                       help="per-run wall-clock timeout (workers > 1)")
+    chaos.add_argument("--jsonl", metavar="PATH",
+                       help="stream incremental SLO report rows here "
+                            "(one JSON object per line)")
+    chaos.add_argument("--json", metavar="PATH", dest="json_path",
+                       help="write the full machine-readable report "
+                            "here")
+    chaos.add_argument("--report", metavar="PATH",
+                       help="write the markdown report here")
+    chaos.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="record per-run observability artifacts "
+                            "into this directory")
+    chaos.add_argument("--strict", action="store_true",
+                       help="exit 1 when any run misses its SLO "
+                            "budgets (execution failures always exit 1)")
+
     status = sub.add_parser(
         "status",
         help="render the health/telemetry view of a recorded run")
@@ -454,6 +503,81 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.reporting import render_chaos_report
+    from repro.runtime.pool import default_worker_count
+    from repro.workloads.chaos import (
+        ChaosConfig,
+        HazardConfig,
+        quick_hazard,
+        run_chaos,
+    )
+
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    controllers = tuple(name.strip()
+                        for name in args.controllers.split(",")
+                        if name.strip())
+    try:
+        hazard = (quick_hazard() if args.hazard == "quick"
+                  else HazardConfig())
+        if args.rate_scale != 1.0:
+            hazard = hazard.scaled(args.rate_scale)
+        config = ChaosConfig(scenario=args.scenario, hours=args.hours,
+                             seeds=seeds, controllers=controllers,
+                             window_minutes=args.window_minutes,
+                             warmup_minutes=args.warmup_minutes,
+                             hazard=hazard)
+        # Resolve the scenario (and its network mode) before any run
+        # starts, so a typo or a direct-mode base fails immediately.
+        from repro.workloads.chaos import chaos_specs
+        chaos_specs(config)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    runs = len(seeds) * len(controllers)
+    workers = (default_worker_count(runs) if args.workers is None
+               else args.workers)
+    print(f"{runs} endurance run(s) ({args.hours:g} h each, scenario "
+          f"{config.scenario}), {workers} worker(s)")
+    result = run_chaos(config,
+                       progress=lambda m: print(f"  {m}", flush=True),
+                       workers=workers, timeout_s=args.timeout_s,
+                       jsonl_path=args.jsonl,
+                       telemetry_dir=args.telemetry)
+    report = render_chaos_report(result)
+    print()
+    print(report)
+    if args.jsonl:
+        print(f"streamed SLO rows to {args.jsonl}")
+    if args.report:
+        out = Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
+        print(f"wrote report to {args.report}")
+    if args.json_path:
+        out = Path(args.json_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as handle:
+            json.dump(result.report_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote JSON to {args.json_path}")
+    if result.failures:
+        names = ", ".join(f.label for f in result.failures)
+        print(f"runs that failed to execute: {names}")
+        return 1
+    breached = [run.label for run in result.runs
+                if not run.report.passed]
+    if breached:
+        print(f"runs missing their SLO budgets: {', '.join(breached)}")
+        if args.strict:
+            return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import main as bench_main
 
@@ -498,7 +622,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"run": cmd_run, "scenarios": cmd_scenarios,
                 "cop": cmd_cop, "lifetime": cmd_lifetime,
                 "bench": cmd_bench, "campaign": cmd_campaign,
-                "sweep": cmd_sweep, "status": cmd_status}
+                "sweep": cmd_sweep, "chaos": cmd_chaos,
+                "status": cmd_status}
     return handlers[args.command](args)
 
 

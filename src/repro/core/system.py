@@ -19,10 +19,17 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.analysis.degradation import COMFORT_BAND_K
 from repro.control.radiant import RadiantInputs
 from repro.control.ventilation import VentilationInputs
 from repro.core.config import BubbleZeroConfig
 from repro.core.plant import Plant
+from repro.obs.events import (
+    COMFORT_BREACH,
+    COMFORT_CLEARED,
+    DEW_BREACH,
+    DEW_CLEARED,
+)
 from repro.scenarios.topology import SystemTopology, paper_topology
 from repro.devices.boards import (
     Board,
@@ -111,6 +118,12 @@ class BubbleZero:
         self._recorder_task = PeriodicTask(
             self.sim, "recorder", self.config.record_period_s, self._record,
             priority=PRIORITY_MONITOR, phase=0.0)
+        # Last observed comfort/dew breach state, per zone and panel.
+        # The recorder flips these and emits comfort.*/dew.* transition
+        # events (the SLO scorer's raw material) — pure bookkeeping on
+        # the existing sampling grid, so observation stays passive.
+        self._comfort_breached = [False] * self.topology.zone_count
+        self._dew_breached = [False] * self.topology.panel_count
         self._started = False
         # Lockstep batch driver (repro.runtime.lockstep): when attached,
         # this system becomes the *master* of a replica batch — its event
@@ -480,6 +493,42 @@ class BubbleZero:
                 trace.record(f"panel/{p}/heat", now, loop.last_result.heat_w)
                 trace.record(f"panel/{p}/surface", now,
                              loop.last_result.surface_temp_c)
+        self._slo_probe(now)
+
+    def _slo_probe(self, now: float) -> None:
+        """Emit comfort/dew breach transitions on the recorder grid.
+
+        Observes the same plant state the recorder just traced — no
+        randomness, no scheduling — so an observed run stays
+        bit-identical to a blind one.  Comfort uses the occupant band
+        (preferred +/- COMFORT_BAND_K); a dew breach is a panel surface
+        at or below the highest dew point among its served zones (the
+        zero-margin accounting of repro.analysis.degradation).
+        """
+        obs = self.sim.obs
+        if not obs.enabled:
+            return
+        preferred = self.config.comfort.preferred_temp_c
+        subspaces = self.plant.room.subspaces
+        for i, subspace in enumerate(subspaces):
+            breached = (abs(subspace.state.temp_c - preferred)
+                        > COMFORT_BAND_K)
+            if breached != self._comfort_breached[i]:
+                self._comfort_breached[i] = breached
+                obs.events.emit(
+                    COMFORT_BREACH if breached else COMFORT_CLEARED,
+                    now, zone=i)
+        for p, loop in enumerate(self.plant.panel_loops):
+            if loop.last_result is None:
+                continue
+            dew_max = max(subspaces[z].state.dew_point_c
+                          for z in self.topology.panel_zones[p])
+            breached = loop.last_result.surface_temp_c - dew_max <= 0.0
+            if breached != self._dew_breached[p]:
+                self._dew_breached[p] = breached
+                obs.events.emit(
+                    DEW_BREACH if breached else DEW_CLEARED,
+                    now, panel=p)
 
     # ------------------------------------------------------------------
     # Results

@@ -26,6 +26,10 @@ from typing import Dict, Iterable, List, Optional
 FAULT_INJECTED = "fault.injected"
 FAULT_CLEARED = "fault.cleared"
 TIER_TRANSITION = "tier.transition"
+COMFORT_BREACH = "comfort.breach"
+COMFORT_CLEARED = "comfort.cleared"
+DEW_BREACH = "dew.breach"
+DEW_CLEARED = "dew.cleared"
 CONSERVATIVE_LATCHED = "conservative.latched"
 CONSERVATIVE_RELEASED = "conservative.released"
 COLLISION_BURST = "net.collision_burst"

@@ -41,6 +41,22 @@ EVENT_SCHEMA: Dict[str, Tuple[Dict[str, tuple], Dict[str, tuple]]] = {
          "prev_tier": (int,)},
         {"run": (str,)},
     ),
+    ev.COMFORT_BREACH: (
+        {"t": _NUM, "zone": (int,)},
+        {"run": (str,)},
+    ),
+    ev.COMFORT_CLEARED: (
+        {"t": _NUM, "zone": (int,)},
+        {"run": (str,)},
+    ),
+    ev.DEW_BREACH: (
+        {"t": _NUM, "panel": (int,)},
+        {"run": (str,)},
+    ),
+    ev.DEW_CLEARED: (
+        {"t": _NUM, "panel": (int,)},
+        {"run": (str,)},
+    ),
     ev.CONSERVATIVE_LATCHED: (
         {"t": _NUM},
         {"run": (str,)},

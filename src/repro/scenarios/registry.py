@@ -29,6 +29,7 @@ from repro.scenarios.topology import (
     grid_topology,
     paper_topology,
 )
+from repro.workloads.chaos import quick_hazard, synthesize_faults
 from repro.workloads.faults import (
     ChannelJam,
     Fault,
@@ -311,6 +312,55 @@ def _register_all() -> None:
             topology=grid_topology(zones, cols=cols),
             weather="tropical",
             run_minutes=10.0))
+
+    # Chaos endurance bases (repro.workloads.chaos).  Unlike grid-*,
+    # the network stack stays enabled — the hazard process addresses bt
+    # sensor nodes and jams the shared channel, neither of which exists
+    # in direct mode.  Run length and warmup are replaced per
+    # ChaosConfig; the registered horizons are only the defaults.
+    register_scenario(ScenarioSpec(
+        name="chaos-paper",
+        description="paper 4-zone layout under the seeded hazard "
+                    "process (48 h endurance default)",
+        config=paper_config,
+        run_minutes=2880.0,
+        warmup_minutes=30.0))
+
+    for zones, cols in ((8, 4), (32, 8)):
+        register_scenario(ScenarioSpec(
+            name=f"chaos-grid-{zones}",
+            description=f"{zones}-zone network-mode grid under "
+                        "tropical weather for chaos endurance sweeps",
+            config=paper_config,
+            topology=grid_topology(zones, cols=cols),
+            weather="tropical",
+            run_minutes=2880.0,
+            warmup_minutes=30.0))
+
+    register_scenario(ScenarioSpec(
+        name="chaos-quick",
+        description="short chaos base behind the CI smoke and the "
+                    "serial-vs-pooled byte-identity tests",
+        config=paper_config,
+        run_minutes=30.0,
+        warmup_minutes=5.0))
+
+    # A frozen 20-minute synthesized schedule behind the chaos golden,
+    # registered (and thus roster-validated) like every other fault
+    # program so the golden regenerates through the registry alone.
+    register_fault_script(
+        "chaos/quick",
+        synthesize_faults(paper_topology(), quick_hazard(), seed=7,
+                          horizon_s=1200.0).faults)
+    register_scenario(ScenarioSpec(
+        name="golden-chaos-quick",
+        description="20-minute quick-cell chaos run behind the "
+                    "committed chaos_quick golden fingerprint and "
+                    "chaos_slo golden report",
+        config=paper_config,
+        fault_script="chaos/quick",
+        run_minutes=20.0,
+        warmup_minutes=5.0))
 
 
 _register_all()

@@ -1,14 +1,21 @@
-"""Regenerate the golden trajectory fingerprints.
+"""Regenerate the golden fingerprints and the chaos SLO report.
 
 Run from the repository root after an *intentional* behaviour change:
 
     PYTHONPATH=src:. python tests/golden/regenerate.py
 
 then review the diff in the accompanying test run and commit the new
-NPZ files together with the change that motivated them.  Never
-regenerate to silence a failure you cannot explain.
+files together with the change that motivated them.  Never regenerate
+to silence a failure you cannot explain.
+
+Every golden comes from a ``golden-*`` entry in
+:mod:`repro.scenarios.registry`, resolved through
+``tests/golden_trials.py`` — this script never assembles a scenario by
+hand, so the committed artifacts always match the registered
+definitions that the tests replay.
 """
 
+import json
 import sys
 from pathlib import Path
 
@@ -19,17 +26,38 @@ from repro.analysis.fingerprint import (  # noqa: E402
     save_fingerprint,
     trajectory_fingerprint,
 )
-from tests.golden_trials import GOLDEN_DIR, TRIALS  # noqa: E402
+from repro.obs import create_observability  # noqa: E402
+from tests.golden_trials import (  # noqa: E402
+    GOLDEN_DIR,
+    chaos_quick_slo,
+    golden_scenarios,
+    run_golden_trial,
+)
 
 
 def main() -> int:
-    for name, build in TRIALS.items():
-        print(f"running {name} (reference physics)...", flush=True)
-        system = build(macro=False)
+    for key, scenario in sorted(golden_scenarios().items()):
+        print(f"running {scenario} (reference physics)...", flush=True)
+        system = run_golden_trial(key, macro=False)
         fingerprint = trajectory_fingerprint(system)
-        path = GOLDEN_DIR / f"{name}.npz"
+        path = GOLDEN_DIR / f"{key}.npz"
         save_fingerprint(path, fingerprint)
         print(f"  wrote {path} (hash {fingerprint['discrete_hash'][:16]})")
+
+    # The chaos golden additionally pins the scored SLO report.  It is
+    # produced from an *observed* replay of the same scenario — the
+    # fingerprint above came from a blind one, which the equivalence
+    # tests exploit: both replays must hash identically.
+    print("scoring golden-chaos-quick SLO report...", flush=True)
+    system = run_golden_trial("chaos_quick", macro=False,
+                              obs=create_observability())
+    report = chaos_quick_slo(system).report_dict()
+    path = GOLDEN_DIR / "chaos_slo.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"  wrote {path} ({report['totals']['windows']} windows, "
+          f"{report['totals']['faults']} faults)")
     return 0
 
 

@@ -1,13 +1,15 @@
-"""The two reference trials behind the golden-trajectory fingerprints.
+"""The reference trials behind the golden-trajectory fingerprints.
 
-Shared between the regression test (tests/test_golden_trajectories.py)
+Shared between the regression tests (tests/test_golden_trajectories.py)
 and the regeneration script (tests/golden/regenerate.py) so that both
-always run *exactly* the same scenario.  Since the scenario layer
-landed, the trials themselves are registry entries
-(``golden-hvac-va`` / ``golden-network-vc``) and this module only
-swaps the physics path in.
+always run *exactly* the same scenario.  Every golden trial is a
+``golden-*`` entry in :mod:`repro.scenarios.registry` — this module
+only looks the scenario up, swaps the physics path in, and (for the
+chaos golden) scores the SLO report; there is deliberately no other
+way to build a golden, so the committed fingerprints can never drift
+from the registered definitions.
 
-Both trials run in network mode, where macro-stepped physics never
+All trials run in network mode, where macro-stepped physics never
 engages (radio events arrive every couple of seconds, below the macro
 threshold) — so the macro and reference physics paths must produce
 bit-identical trajectories, and a single committed fingerprint checks
@@ -15,38 +17,68 @@ both.
 """
 
 from dataclasses import replace
+from functools import partial
 from pathlib import Path
+from typing import Dict
 
+from repro.analysis.slo import SloBudgets, SloReport, score_system
 from repro.core.system import BubbleZero
-from repro.scenarios.registry import get_scenario
+from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.spec import run_scenario
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
-# Truncated from the paper's full durations to keep the suite fast; the
-# window still covers the 14:05 door event (trial A) and two periodic
-# disturbances (trial C).  Mirrors the registered scenarios' horizon.
+#: Horizon of the hvac/network trials — truncated from the paper's full
+#: durations to keep the suite fast; the window still covers the 14:05
+#: door event (trial A) and two periodic disturbances (trial C).
+#: Mirrors the registered scenarios' horizon.
 TRIAL_MINUTES = 75.0
 
+#: SLO scoring shape of the chaos golden (golden-chaos-quick is a
+#: 20-minute run: three 5-minute windows after a 5-minute warmup).
+CHAOS_SLO_WINDOW_S = 300.0
+CHAOS_SLO_WARMUP_S = 300.0
 
-def _run_registered(name: str, macro: bool) -> BubbleZero:
-    spec = get_scenario(name)
+
+def golden_scenarios() -> Dict[str, str]:
+    """Every registered golden trial: fingerprint key -> scenario name.
+
+    The key is the committed NPZ stem (``golden-hvac-va`` ->
+    ``hvac_va``), so the registry is the single source of truth for
+    which fingerprints must exist.
+    """
+    return {name[len("golden-"):].replace("-", "_"): name
+            for name in scenario_names() if name.startswith("golden-")}
+
+
+def run_golden_trial(key: str, macro: bool = True,
+                     obs=None) -> BubbleZero:
+    """Run one registered golden trial on the chosen physics path."""
+    spec = get_scenario(golden_scenarios()[key])
     spec = replace(spec, config=replace(spec.config,
                                         physics_macro_step=macro))
-    return run_scenario(spec)
+    return run_scenario(spec, obs=obs)
+
+
+def chaos_quick_slo(system: BubbleZero) -> SloReport:
+    """The SLO report of a finished, observed golden-chaos-quick run,
+    at the fixed scoring shape of the committed chaos_slo.json."""
+    return score_system(system, "golden-chaos-quick",
+                        window_s=CHAOS_SLO_WINDOW_S,
+                        budgets=SloBudgets(),
+                        warmup_s=CHAOS_SLO_WARMUP_S)
 
 
 def run_hvac_trial(macro: bool = True) -> BubbleZero:
     """Paper §V-A style: phase-two occupancy/door events, BT-ADPT radio."""
-    return _run_registered("golden-hvac-va", macro)
+    return run_golden_trial("hvac_va", macro)
 
 
 def run_network_trial(macro: bool = True) -> BubbleZero:
     """Paper §V-C style: periodic disturbances against BT-ADPT."""
-    return _run_registered("golden-network-vc", macro)
+    return run_golden_trial("network_vc", macro)
 
 
-TRIALS = {
-    "hvac_va": run_hvac_trial,
-    "network_vc": run_network_trial,
-}
+#: key -> callable(macro=...) for every registered golden trial.
+TRIALS = {key: partial(run_golden_trial, key)
+          for key in golden_scenarios()}

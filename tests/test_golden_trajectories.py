@@ -1,11 +1,17 @@
 """Golden-trajectory regression tests.
 
-Replays the §V-A and §V-C style reference trials and compares compact
+Replays every registered ``golden-*`` trial and compares compact
 fingerprints (downsampled series + discrete-event-log hash) against the
 committed NPZ files under tests/golden/.  Both physics paths are
 checked: these trials run in network mode, where macro-stepped physics
 never engages, so macro=True and macro=False must match the same golden
 exactly.
+
+The chaos trial additionally pins its scored SLO report
+(chaos_slo.json): an *observed* replay must reproduce the committed
+report bit for bit on both physics paths, and must hash identically to
+the blind replay behind the NPZ — the observability cardinal rule,
+checked on the chaos path specifically.
 
 On an intentional behaviour change, regenerate with:
 
@@ -14,6 +20,8 @@ On an intentional behaviour change, regenerate with:
 (see tests/golden/README.md).
 """
 
+import json
+
 import pytest
 
 from repro.analysis.fingerprint import (
@@ -21,8 +29,15 @@ from repro.analysis.fingerprint import (
     load_fingerprint,
     trajectory_fingerprint,
 )
+from repro.obs import create_observability
 
-from .golden_trials import GOLDEN_DIR, TRIALS
+from .golden_trials import (
+    GOLDEN_DIR,
+    TRIALS,
+    chaos_quick_slo,
+    golden_scenarios,
+    run_golden_trial,
+)
 
 
 @pytest.mark.parametrize("macro", [True, False],
@@ -39,8 +54,41 @@ def test_trial_matches_golden(trial, macro):
     assert not mismatches, "\n".join(mismatches)
 
 
+def test_every_registered_golden_has_a_fingerprint():
+    """The registry is the source of truth: every golden-* scenario
+    must have a committed NPZ, and every committed NPZ must belong to
+    a registered golden-* scenario."""
+    registered = set(golden_scenarios())
+    committed = {path.stem for path in GOLDEN_DIR.glob("*.npz")}
+    assert registered == committed, (
+        f"registry/fingerprint drift: registered-only "
+        f"{sorted(registered - committed)}, committed-only "
+        f"{sorted(committed - registered)}")
+
+
 def test_goldens_differ_between_trials():
-    """Sanity: the two committed fingerprints are not the same run."""
-    a = load_fingerprint(GOLDEN_DIR / "hvac_va.npz")
-    b = load_fingerprint(GOLDEN_DIR / "network_vc.npz")
-    assert a["discrete_hash"] != b["discrete_hash"]
+    """Sanity: the committed fingerprints are all distinct runs."""
+    hashes = {}
+    for key in golden_scenarios():
+        fingerprint = load_fingerprint(GOLDEN_DIR / f"{key}.npz")
+        hashes[key] = fingerprint["discrete_hash"]
+    assert len(set(hashes.values())) == len(hashes), hashes
+
+
+@pytest.mark.parametrize("macro", [True, False],
+                         ids=["macro", "reference"])
+def test_chaos_slo_matches_golden(macro):
+    """An observed golden-chaos-quick replay reproduces the committed
+    SLO report exactly, and hashes identically to the blind replay
+    behind the NPZ (observation never perturbs the chaos path)."""
+    golden = json.loads((GOLDEN_DIR / "chaos_slo.json").read_text())
+    system = run_golden_trial("chaos_quick", macro=macro,
+                              obs=create_observability())
+    report = chaos_quick_slo(system).report_dict()
+    # Round-trip through JSON so committed and fresh numbers compare
+    # under identical serialisation.
+    assert json.loads(json.dumps(report, sort_keys=True)) == golden
+
+    npz = load_fingerprint(GOLDEN_DIR / "chaos_quick.npz")
+    current = trajectory_fingerprint(system)
+    assert current["discrete_hash"] == npz["discrete_hash"]
