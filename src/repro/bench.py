@@ -66,9 +66,10 @@ _SCENARIOS = {"hvac": "paper-va", "network": "paper-vc"}
 
 
 def _build_trial(name: str, macro: bool, obs=None):
-    from repro.physics import psychrometrics
+    from repro.physics import psychrometrics, spectral
 
     psychrometrics.cache_clear()
+    spectral.cache_clear()
     spec = get_scenario(_SCENARIOS[name])
     spec = replace(spec, config=replace(spec.config,
                                         physics_macro_step=macro))
@@ -289,19 +290,40 @@ def run_parallel_section(workers: int,
 GRID_ZONES = (4, 32, 128)
 GRID_BATCH_SEEDS = 16
 
+# Largest grid where the cache-off control run is still cheap enough to
+# bother timing; beyond this the point is already made and the bench
+# only reports the cached path.
+NOCACHE_MAX_ZONES = 128
 
-def run_grid_trial(zones: int, vector: bool) -> Dict[str, object]:
+
+def run_grid_trial(zones: int, vector: bool,
+                   cache: bool = True) -> Dict[str, object]:
     """One timed run of the ``grid-<zones>`` scenario on one physics
-    path (``vector=False`` → scalar per-zone objects)."""
+    path (``vector=False`` → scalar per-zone objects).
+
+    The spectral cache is cleared first so every trial starts cold;
+    ``cache=False`` disables it outright (every gap re-decomposes),
+    which isolates the cache's contribution to the wall clock.  Either
+    way the trajectory is bit-identical — the cache stores exact
+    decompositions, it never changes them.
+    """
+    from repro.physics import spectral
+
     spec = get_scenario(f"grid-{zones}")
     spec = replace(spec, config=replace(spec.config,
                                         physics_vector=vector))
-    system, _ = prepare_run(spec)
-    system.start()
-    t0 = time.perf_counter()
-    system.run(minutes=spec.run_minutes)
-    wall_s = time.perf_counter() - t0
-    system.finalize()
+    spectral.cache_clear()
+    prev = spectral.configure(enabled=cache)
+    try:
+        system, _ = prepare_run(spec)
+        system.start()
+        t0 = time.perf_counter()
+        system.run(minutes=spec.run_minutes)
+        wall_s = time.perf_counter() - t0
+        system.finalize()
+        stats = spectral.cache_stats()
+    finally:
+        spectral.configure(**prev)
     events = system.sim.events_dispatched
     return {
         "wall_s": wall_s,
@@ -311,6 +333,8 @@ def run_grid_trial(zones: int, vector: bool) -> Dict[str, object]:
         "zone_events_per_s": zones * events / wall_s,
         "discrete_hash": discrete_log_hash(system),
         "mean_temp_c": system.plant.room.mean_temp_c(),
+        "solver": spec.config.physics_solver,
+        "spectral_cache": stats,
     }
 
 
@@ -331,6 +355,7 @@ def run_grid_section(zone_counts: List[int],
     delivers seed-replicated trials compared to running them one at a
     time on the scalar path.
     """
+    from repro.physics import spectral
     from repro.runtime.lockstep import LockstepBatch
 
     section: Dict[str, object] = {
@@ -349,10 +374,21 @@ def run_grid_section(zone_counts: List[int],
                 f"grid-{zones}: vector path diverged from scalar "
                 f"(discrete hashes differ) — the SoA core must be "
                 f"bit-exact")
+        nocache = None
+        if zones <= NOCACHE_MAX_ZONES:
+            nocache = min((run_grid_trial(zones, vector=True, cache=False)
+                           for _ in range(repeat)),
+                          key=lambda r: r["wall_s"])
+            if nocache["discrete_hash"] != vector["discrete_hash"]:
+                raise RuntimeError(
+                    f"grid-{zones}: disabling the spectral cache "
+                    f"changed the discrete hash — the cache must be "
+                    f"observationally invisible")
         spec = get_scenario(f"grid-{zones}")
         seeds = list(range(7, 7 + batch_seeds))
         batch_wall = float("inf")
         for _ in range(repeat):
+            spectral.cache_clear()
             t0 = time.perf_counter()
             batch = LockstepBatch(spec, seeds)
             batch.run()
@@ -362,6 +398,7 @@ def run_grid_section(zone_counts: List[int],
         row = {
             "zones": zones,
             "events": events,
+            "solver": vector["solver"],
             "scalar": {k: scalar[k] for k in
                        ("wall_s", "events_per_s", "zone_events_per_s")},
             "vector": {k: vector[k] for k in
@@ -369,6 +406,7 @@ def run_grid_section(zone_counts: List[int],
             "vector_speedup": scalar["wall_s"] / vector["wall_s"],
             "hashes_equal": True,
             "discrete_hash": scalar["discrete_hash"],
+            "spectral_cache": vector["spectral_cache"],
             "batch": {
                 "seeds": batch_seeds,
                 "wall_s": batch_wall,
@@ -376,18 +414,88 @@ def run_grid_section(zone_counts: List[int],
                 "speedup_vs_scalar": eq / float(scalar["events_per_s"]),
             },
         }
+        if nocache is not None:
+            row["nocache"] = {
+                "wall_s": nocache["wall_s"],
+                "cache_speedup": nocache["wall_s"] / vector["wall_s"],
+                "hashes_equal": True,
+            }
         rows = section["rows"]
         assert isinstance(rows, list)
         rows.append(row)
-        print(f"  grid-{zones}: scalar {scalar['wall_s']:.2f}s "
+        cache_note = (f" | nocache {nocache['wall_s']:.2f}s "
+                      f"({row['nocache']['cache_speedup']:.2f}x cache win)"
+                      if nocache is not None else "")
+        print(f"  grid-{zones} [{row['solver']}]: "
+              f"scalar {scalar['wall_s']:.2f}s "
               f"({scalar['zone_events_per_s']:,.0f} zone-ev/s) | "
               f"vector {vector['wall_s']:.2f}s "
-              f"({row['vector_speedup']:.2f}x) | "
+              f"({row['vector_speedup']:.2f}x){cache_note} | "
               f"batch[{batch_seeds}] {batch_wall:.2f}s -> "
               f"{eq:,.0f} ev/s-eq "
               f"({row['batch']['speedup_vs_scalar']:.2f}x vs scalar)",
               flush=True)
     return section
+
+
+# Lockstep-sweep section defaults: a short direct sweep, enough seeds
+# for a few groups.
+SWEEP_LOCKSTEP_SEEDS = 16
+SWEEP_LOCKSTEP_MINUTES = 30.0
+SWEEP_LOCKSTEP_WARMUP = 5.0
+
+
+def run_sweep_lockstep_section(batch: int,
+                               seeds: int = SWEEP_LOCKSTEP_SEEDS,
+                               run_minutes: float = SWEEP_LOCKSTEP_MINUTES
+                               ) -> Dict[str, object]:
+    """Per-seed pool vs lockstep-backed ``repro sweep``, same seeds.
+
+    Both sides run in this process (workers=1) so the comparison is
+    pure executor mechanics, not pool scheduling.  The master lanes of
+    the lockstep report must be byte-identical to the corresponding
+    rows of the per-seed report; the headline number is events-per-
+    second *equivalent* — the per-seed sweep's total dispatched events
+    divided by each side's wall clock, i.e. how fast either lane
+    delivers the same replicated-trial workload.
+    """
+    from repro.workloads.sweep import SweepConfig, run_sweep
+
+    seed_tuple = tuple(range(1, seeds + 1))
+    serial_cfg = SweepConfig(seeds=seed_tuple, run_minutes=run_minutes,
+                             warmup_minutes=SWEEP_LOCKSTEP_WARMUP,
+                             direct=True)
+    lock_cfg = SweepConfig(seeds=seed_tuple, run_minutes=run_minutes,
+                           warmup_minutes=SWEEP_LOCKSTEP_WARMUP,
+                           direct=True, lockstep_batch=batch)
+    t0 = time.perf_counter()
+    serial = run_sweep(serial_cfg, workers=1)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    lock = run_sweep(lock_cfg, workers=1)
+    lock_wall = time.perf_counter() - t0
+    serial_rows = serial.report_dict()["runs"]
+    lock_rows = lock.report_dict()["runs"]
+    masters = list(range(0, seeds, batch))
+    for idx in masters:
+        if serial_rows[idx] != lock_rows[idx]:
+            raise RuntimeError(
+                f"lockstep sweep master lane {serial_rows[idx]['label']} "
+                f"diverged from the per-seed sweep — the master lane "
+                f"must be byte-identical")
+    events_total = sum(run.events for run in serial.runs)
+    eq_serial = events_total / serial_wall
+    eq_lock = events_total / lock_wall
+    return {
+        "seeds": seeds,
+        "batch": batch,
+        "run_minutes": run_minutes,
+        "events_total": events_total,
+        "serial": {"wall_s": serial_wall, "events_per_s_equiv": eq_serial},
+        "lockstep": {"wall_s": lock_wall, "events_per_s_equiv": eq_lock},
+        "lockstep_speedup": serial_wall / lock_wall,
+        "master_lanes_identical": True,
+    }
 
 
 def _flatten(prefix: str, value: object, out: Dict[str, object]) -> None:
@@ -598,6 +706,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--grid-seeds", type=int, default=GRID_BATCH_SEEDS,
                         help="seed replicas in the lockstep batch of "
                              "the grid section")
+    parser.add_argument("--sweep-lockstep", type=int, default=0,
+                        metavar="BATCH",
+                        help="also compare a per-seed sweep against a "
+                             "lockstep-backed sweep with groups of "
+                             "BATCH replicas (0: skip)")
     parser.add_argument("--obs", action="store_true",
                         help="rerun the trials with observability on; "
                              "record the wall-clock overhead and assert "
@@ -668,6 +781,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         report["grid"] = run_grid_section(zone_counts,
                                           batch_seeds=args.grid_seeds,
                                           repeat=args.repeat)
+    if args.sweep_lockstep > 0:
+        print(f"running lockstep-sweep section "
+              f"({SWEEP_LOCKSTEP_SEEDS} seeds, groups of "
+              f"{args.sweep_lockstep})...", flush=True)
+        sweep_section = run_sweep_lockstep_section(args.sweep_lockstep)
+        report["sweep_lockstep"] = sweep_section
+        print(f"  per-seed {sweep_section['serial']['wall_s']:.2f}s vs "
+              f"lockstep {sweep_section['lockstep']['wall_s']:.2f}s | "
+              f"{sweep_section['lockstep']['events_per_s_equiv']:,.0f} "
+              f"ev/s-eq | speedup "
+              f"{sweep_section['lockstep_speedup']:.2f}x | master lanes "
+              f"identical", flush=True)
     if args.workers > 0:
         print(f"running parallel section ({args.workers} workers, "
               f"{args.parallel_runs} runs)...", flush=True)

@@ -154,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wired control loop (no radio)")
     sweep.add_argument("--fixed-tx", action="store_true",
                        help="Fixed transmission scheme instead of BT-ADPT")
+    sweep.add_argument("--lockstep-batch", type=int, default=None,
+                       metavar="R",
+                       help="shard seeds into lockstep groups of R "
+                            "replicas each (direct, scriptless sweeps "
+                            "only; first seed of a group is the "
+                            "bit-exact master lane, the rest are "
+                            "replica-lane within the documented "
+                            "lockstep tolerance); composes with "
+                            "--workers, which then counts groups")
     sweep.add_argument("--workers", type=int, default=None,
                        help="process-pool width (default: cpu count, "
                             "capped at the number of replicates)")
@@ -474,16 +483,25 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                              warmup_minutes=args.warmup_minutes,
                              script=("paper-phase-two" if args.paper_events
                                      else "none"),
-                             direct=args.direct, fixed_tx=args.fixed_tx)
+                             direct=args.direct, fixed_tx=args.fixed_tx,
+                             lockstep_batch=args.lockstep_batch)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
-    workers = (default_worker_count(len(seeds)) if args.workers is None
+    from repro.workloads.sweep import _expected_payloads
+    jobs = _expected_payloads(config)
+    workers = (default_worker_count(jobs) if args.workers is None
                else args.workers)
-    print(f"{len(seeds)} replicates (seeds {seeds[0]}..{seeds[-1]}), "
-          f"{config.run_minutes:g} min each, {workers} worker(s)")
+    if config.lockstep_batch is None:
+        print(f"{len(seeds)} replicates (seeds {seeds[0]}..{seeds[-1]}), "
+              f"{config.run_minutes:g} min each, {workers} worker(s)")
+    else:
+        print(f"{len(seeds)} replicates (seeds {seeds[0]}..{seeds[-1]}) "
+              f"in {jobs} lockstep group(s) of up to "
+              f"{config.lockstep_batch}, {config.run_minutes:g} min each, "
+              f"{workers} worker(s)")
     result = run_sweep(config, workers=workers, timeout_s=args.timeout_s,
-                       progress=ProgressPrinter(len(seeds)),
+                       progress=ProgressPrinter(jobs),
                        telemetry_dir=args.telemetry)
     report = render_sweep_report(result)
     print()

@@ -63,6 +63,14 @@ class BubbleZeroConfig:
     # floating-point expression of the scalar one — so this only changes
     # speed; set False to run the scalar reference implementation.
     physics_vector: bool = True
+    # Macro-gap eigensolver: "dense" is the reference oracle (general
+    # inv/eig/inv, bit-pinned by every golden); "structured" exploits
+    # the coupling matrix's symmetry under the capacity scaling
+    # (symmetrised eigh — real arithmetic, ~O(10x) faster factorisation)
+    # and is what makes 512/1024-zone grids tractable.  The two agree
+    # only to roundoff, so "structured" is opt-in per scenario and the
+    # registered large-grid scenarios are its only default users.
+    physics_solver: str = "dense"
     network: NetworkConfig = NetworkConfig()
     comfort: ComfortConfig = ComfortConfig()
     outdoor: OutdoorConfig = OutdoorConfig()
@@ -72,3 +80,7 @@ class BubbleZeroConfig:
             raise ValueError("physics step must be positive")
         if self.record_period_s <= 0:
             raise ValueError("record period must be positive")
+        if self.physics_solver not in ("dense", "structured"):
+            raise ValueError(
+                f"unknown physics_solver {self.physics_solver!r}; "
+                "expected 'dense' or 'structured'")

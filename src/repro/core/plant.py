@@ -82,14 +82,16 @@ class Plant:
                  radiant_chiller: Optional[CarnotFractionChiller] = None,
                  vent_chiller: Optional[CarnotFractionChiller] = None,
                  topology: Optional[SystemTopology] = None,
-                 vector: bool = False) -> None:
+                 vector: bool = False,
+                 solver: str = "dense") -> None:
         self.weather = weather
         self.topology = topology or paper_topology()
         topo = self.topology
         self.room = room or Room(
             geometry=RoomGeometry(topo.length_m, topo.width_m,
                                   topo.height_m, topo.zone_count),
-            adjacency=topo.adjacency)
+            adjacency=topo.adjacency,
+            solver=solver)
         n_sub = len(self.room.subspaces)
         if n_sub != topo.zone_count:
             raise ValueError(

@@ -84,7 +84,8 @@ class BubbleZero:
         self.weather = weather or ConstantWeather(
             self.config.outdoor.temp_c, self.config.outdoor.dew_point_c)
         self.plant = Plant(self.weather, topology=self.topology,
-                           vector=self.config.physics_vector)
+                           vector=self.config.physics_vector,
+                           solver=self.config.physics_solver)
         self.bt_nodes: List[BtSensorNode] = []
         self.boards: List[Board] = []
         self.medium: Optional[BroadcastMedium] = None
@@ -494,6 +495,8 @@ class BubbleZero:
                 trace.record(f"panel/{p}/surface", now,
                              loop.last_result.surface_temp_c)
         self._slo_probe(now)
+        if self._lockstep is not None:
+            self._lockstep.on_record(now)
 
     def _slo_probe(self, now: float) -> None:
         """Emit comfort/dew breach transitions on the recorder grid.

@@ -125,6 +125,14 @@ def collect_system_metrics(system, registry: MetricsRegistry) -> None:
     registry.gauge("physics.psychro.hits").set(hits)
     registry.gauge("physics.psychro.misses").set(misses)
 
+    from repro.physics import spectral
+    stats = spectral.cache_stats()
+    registry.gauge("physics.spectral.hits").set(stats["hits"])
+    registry.gauge("physics.spectral.misses").set(stats["misses"])
+    registry.gauge("physics.spectral.evictions").set(stats["evictions"])
+    registry.gauge("physics.spectral.entries").set(stats["entries"])
+    registry.gauge("physics.spectral.hit_rate").set(stats["hit_rate"])
+
 
 def health_snapshot(system) -> Dict[str, object]:
     """Liveness view of every node, board and tank, JSON-serialisable.
@@ -165,19 +173,26 @@ def health_snapshot(system) -> Dict[str, object]:
         tank.name: tank.telemetry_snapshot()
         for tank in (system.plant.radiant_tank, system.plant.vent_tank)
     }
-    from repro.physics import psychrometrics
+    from repro.physics import psychrometrics, spectral
     psychro = {relation: info["hit_rate"]
                for relation, info in psychrometrics.cache_stats().items()}
     room = system.plant.room
     gaps = room.macro_gaps
+    spectral_stats = spectral.cache_stats()
     physics = {
         "vector": getattr(system.plant, "_vector_kernel", None) is not None,
         "macro_step": system.config.physics_macro_step,
+        "solver": getattr(room, "_solver", "dense"),
         "zones": len(room.subspaces),
         "macro_gaps": gaps,
         "macro_fallbacks": room.macro_fallbacks,
         "fallback_rate": (room.macro_fallbacks / gaps) if gaps else 0.0,
-        "decomp_cache_entries": len(getattr(room, "_macro_cache", {})),
+        # Process-wide spectral cache (shared across scalar, SoA and
+        # lockstep paths), not a per-room cache.
+        "spectral_hits": spectral_stats["hits"],
+        "spectral_misses": spectral_stats["misses"],
+        "spectral_evictions": spectral_stats["evictions"],
+        "spectral_entries": spectral_stats["entries"],
         "condensation_events": room.condensation_events,
     }
     supervisor = system.supervisor

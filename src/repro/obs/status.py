@@ -255,18 +255,23 @@ def render_status(telemetry: Dict[str, object]) -> str:
             physics_rows.append((
                 label,
                 "SoA" if physics.get("vector") else "scalar",
+                physics.get("solver", "dense"),
                 int(physics.get("zones", 0)),
                 "yes" if physics.get("macro_step") else "no",
                 int(physics.get("macro_gaps", 0)),
                 int(physics.get("macro_fallbacks", 0)),
                 f"{float(physics.get('fallback_rate', 0.0)):.1%}",
-                int(physics.get("decomp_cache_entries", 0)),
+                int(physics.get("spectral_hits", 0)),
+                int(physics.get("spectral_misses", 0)),
+                int(physics.get("spectral_evictions", 0)),
+                int(physics.get("spectral_entries", 0)),
             ))
     if physics_rows:
         sections.append(render_table(
             "Physics core",
-            ["run", "path", "zones", "macro", "gaps", "fallbacks",
-             "fallback rate", "decomp cache"],
+            ["run", "path", "solver", "zones", "macro", "gaps",
+             "fallbacks", "fallback rate", "spec hits", "spec misses",
+             "spec evict", "spec entries"],
             physics_rows))
 
     profile = telemetry.get("profile") or {}

@@ -23,10 +23,11 @@ subdivides automatically if a larger dt is requested.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.physics import spectral
 from repro.physics.psychrometrics import (
     dew_point_from_humidity_ratio,
     humidity_ratio_from_dew_point,
@@ -154,8 +155,8 @@ class Room:
                  initial_temp_c: float = 28.9,
                  initial_dew_c: float = 27.4,
                  initial_co2_ppm: float = 450.0,
-                 adjacency: Optional[Tuple[Tuple[int, int], ...]] = None
-                 ) -> None:
+                 adjacency: Optional[Tuple[Tuple[int, int], ...]] = None,
+                 solver: str = "dense") -> None:
         self.geometry = geometry or RoomGeometry()
         self.params = params or RoomParameters()
         n_sub = self.geometry.subspace_count
@@ -216,11 +217,16 @@ class Room:
             self._water_masses,
             [s.volume_m3 for s in self.subspaces],
         ])
-        # Decompositions keyed by the diagonal-loss vector: the forcing
-        # varies every gap (panel heat tracks the room) but the loss
-        # terms only change when an actuator command does, so steady
-        # operation reuses one eigendecomposition across many gaps.
-        self._macro_cache: Dict[bytes, tuple] = {}
+        # Decompositions live in the process-wide spectral cache
+        # (repro.physics.spectral), keyed by this room's structure hash
+        # plus the exact diagonal-loss vector: the forcing varies every
+        # gap (panel heat tracks the room) but the loss terms only
+        # change when an actuator command does, so steady operation
+        # reuses one eigendecomposition across many gaps — and across
+        # every room and physics path with the same structure.
+        self._solver = solver
+        self._macro_key = spectral.system_key(self._macro_base,
+                                              self._macro_scale, solver)
 
     # ------------------------------------------------------------------
     # Observation helpers
@@ -452,28 +458,13 @@ class Room:
 
         Returns ``(a_inv, vals, vecs, vecs_inv)`` or ``None`` when the
         linear algebra degenerates (caller falls back to per-tick
-        integration).
+        integration).  Memoisation lives in the shared spectral cache,
+        keyed on the exact diag bytes so a hit is bit-identical to a
+        fresh decomposition.
         """
-        key = diag.tobytes()
-        decomp = self._macro_cache.get(key)
-        if decomp is None:
-            n = len(self.subspaces)
-            scale = self._macro_scale
-            mats = self._macro_base.copy()
-            idx = np.arange(n)
-            mats[:, idx, idx] -= diag
-            mats /= scale[:, :, None]
-            try:
-                a_inv = np.linalg.inv(mats)
-                vals, vecs = np.linalg.eig(mats)
-                vecs_inv = np.linalg.inv(vecs)
-            except np.linalg.LinAlgError:
-                return None
-            if len(self._macro_cache) >= 64:
-                self._macro_cache.clear()
-            decomp = (a_inv, vals, vecs, vecs_inv)
-            self._macro_cache[key] = decomp
-        return decomp
+        return spectral.decomposition(self._macro_key, diag,
+                                      self._macro_base,
+                                      self._macro_scale, self._solver)
 
     def _solve_macro_gap(self, dt: float, x0: np.ndarray, diag: np.ndarray,
                          rhs: np.ndarray, co2_floor: float

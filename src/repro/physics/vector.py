@@ -52,6 +52,7 @@ import numpy as np
 from repro.airside.airbox import AirboxOutput
 from repro.hydronics.panel import PanelResult
 from repro.hydronics.water import WATER_CP, mass_flow
+from repro.physics import spectral
 from repro.physics.psychrometrics import (
     dew_point_from_humidity_ratio,
     humidity_ratio_from_dew_point,
@@ -889,16 +890,19 @@ class VectorPlantKernel:
 
 
 class BatchGapSolver:
-    """Macro-step many same-topology rooms in one stacked eigensolve.
+    """Macro-step many same-topology rooms off the shared spectral cache.
 
     Sweep and bench campaigns replicate one scenario across seeds; each
     replica's macro gap assembles an independent ``(3, n, n)`` linear
-    system.  Stacking them into ``[batch, 3, n, n]`` lets LAPACK chew
-    the whole batch per call.  The per-matrix results are identical to
-    :meth:`Room._solve_macro_gap` (the gufuncs factorise each matrix
-    independently), and any room whose trajectory touches a clamp floor
-    falls back to its own per-tick :meth:`Room.step`, exactly like the
-    single-room path.
+    system.  The rooms share their structure hash (validated here), so
+    every gap resolves through :mod:`repro.physics.spectral`: replicas
+    whose actuation pattern matches — or matches any earlier gap of any
+    room — reuse one decomposition instead of re-factorising, and the
+    per-gap work collapses to small matmuls.  The propagation repeats
+    :meth:`Room._solve_macro_gap`'s expressions on the same cached
+    arrays, so results are bit-identical to the scalar path, and any
+    room whose trajectory touches a clamp floor falls back to its own
+    per-tick :meth:`Room.step`, exactly like the single-room path.
     """
 
     def __init__(self, rooms: Sequence[Room]) -> None:
@@ -906,15 +910,17 @@ class BatchGapSolver:
             raise ValueError("need at least one room")
         base = rooms[0]._macro_base
         scale = rooms[0]._macro_scale
+        key = rooms[0]._macro_key
         for room in rooms[1:]:
-            if (room._macro_base.shape != base.shape
-                    or not np.array_equal(room._macro_base, base)
-                    or not np.array_equal(room._macro_scale, scale)):
+            if room._macro_key != key:
                 raise ValueError(
-                    "batched rooms must share topology and parameters")
+                    "batched rooms must share topology, parameters "
+                    "and solver")
         self.rooms = list(rooms)
         self._base = base
         self._scale = scale
+        self._key = key
+        self._solver = rooms[0]._solver
 
     def macro_step(self, dt: float, outdoors: Sequence[OutdoorState],
                    inputs_batch: Sequence[Sequence[SubspaceInputs]]
@@ -942,38 +948,31 @@ class BatchGapSolver:
             x0[k], diag[k], rhs[k] = room._assemble_macro(
                 outdoors[k], inputs_batch[k])
         rhs = rhs / self._scale
-        mats = np.broadcast_to(
-            self._base, (b,) + self._base.shape).copy()
-        idx = np.arange(n)
-        mats[:, :, idx, idx] -= diag
-        mats /= self._scale[:, :, None]
         fallback = [False] * b
-        try:
-            a_inv = np.linalg.inv(mats)
-            vals, vecs = np.linalg.eig(mats)
-            vecs_inv = np.linalg.inv(vecs)
-        except np.linalg.LinAlgError:
-            # Degenerate algebra somewhere in the batch: hand every room
-            # to its own scalar macro path, which sorts out per-room
-            # fallback exactly as if no batching existed.
-            for k, room in enumerate(rooms):
+        for k, room in enumerate(rooms):
+            decomp = spectral.decomposition(
+                self._key, diag[k], self._base, self._scale, self._solver)
+            if decomp is None:
+                # Degenerate algebra for this replica: hand it to its own
+                # scalar macro path, which sorts out fallback exactly as
+                # if no batching existed.
                 room.macro_step(dt, outdoors[k], inputs_batch[k])
                 fallback[k] = True
-            return fallback
-        x_eq = -(a_inv @ rhs[..., None])[..., 0]
-        y0 = vecs_inv @ (x0 - x_eq)[..., None].astype(vecs.dtype)
-        new_state = ((vecs @ (np.exp(vals * dt)[..., None] * y0))
-                     [..., 0] + x_eq).real
-        mid_state = ((vecs @ (np.exp(vals * (0.5 * dt))[..., None] * y0))
-                     [..., 0] + x_eq).real
-        for k, room in enumerate(rooms):
+                continue
+            a_inv, vals, vecs, vecs_inv = decomp
+            x_eq = -(a_inv @ rhs[k][..., None])[..., 0]
+            y0 = vecs_inv @ (x0[k] - x_eq)[..., None].astype(vecs.dtype)
+            new_state = ((vecs @ (np.exp(vals * dt)[..., None] * y0))
+                         [..., 0] + x_eq).real
+            mid_state = ((vecs @ (np.exp(vals * (0.5 * dt))[..., None] * y0))
+                         [..., 0] + x_eq).real
             co2_floor = outdoors[k].co2_ppm * 0.5
             room.macro_gaps += 1
-            if (new_state[k, 1].min() < 1e-5
-                    or mid_state[k, 1].min() < 1e-5
+            if (new_state[1].min() < 1e-5
+                    or mid_state[1].min() < 1e-5
                     or x0[k, 1].min() <= 1e-5
-                    or new_state[k, 2].min() < co2_floor
-                    or mid_state[k, 2].min() < co2_floor
+                    or new_state[2].min() < co2_floor
+                    or mid_state[2].min() < co2_floor
                     or x0[k, 2].min() <= co2_floor):
                 room.macro_fallbacks += 1
                 room.step(dt, outdoors[k], inputs_batch[k])
@@ -983,7 +982,7 @@ class BatchGapSolver:
                 # float() for the same reason Room.macro_step uses it:
                 # np.float64 must not leak into live state (round() on
                 # numpy scalars perturbs the psychrometrics memo keys).
-                subspace.state = SubspaceState(float(new_state[k, 0, i]),
-                                               float(new_state[k, 1, i]),
-                                               float(new_state[k, 2, i]))
+                subspace.state = SubspaceState(float(new_state[0, i]),
+                                               float(new_state[1, i]),
+                                               float(new_state[2, i]))
         return fallback

@@ -61,6 +61,7 @@ from repro.control.ventilation import CONTROL_HORIZON_S
 from repro.core.plant import CONDENSER_APPROACH_K
 from repro.hydronics.panel import PanelResult
 from repro.hydronics.water import WATER_CP, WATER_DENSITY
+from repro.physics import spectral
 from repro.physics.psychrometrics import (
     dew_point_from_humidity_ratio_array,
     humidity_ratio_from_dew_point_array,
@@ -77,12 +78,6 @@ from repro.scenarios.spec import ScenarioSpec, prepare_run
 
 _FAN_FLOWS = np.array([row[1] for row in FAN_SPEED_TABLE])
 _FAN_POWERS = np.array([row[2] for row in FAN_SPEED_TABLE])
-
-# The shared eigendecomposition cache can hold a distinct steady-state
-# key per replica plus transient keys; size it on the batch, not at the
-# solo path's 64.
-_DECOMP_CACHE_SLACK = 64
-
 
 def _batch_pid(integral: np.ndarray, last: np.ndarray, meas: np.ndarray,
                dt: float, kp: float, ki: float, kd: float,
@@ -372,8 +367,8 @@ class LockstepBatch:
         self._m_exch = self._g_exch * AIR_DENSITY
         self._macro_base = room._macro_base
         self._macro_scale = room._macro_scale
-        self._decomp_cache: Dict[bytes, Optional[tuple]] = {}
-        self._decomp_cap = 4 * R + _DECOMP_CACHE_SLACK
+        self._macro_key = room._macro_key
+        self._solver = room._solver
         edges = np.array(room.adjacency, dtype=np.int64).reshape(-1, 2)
         self._adj_i = edges[:, 0]
         self._adj_j = edges[:, 1]
@@ -685,26 +680,16 @@ class LockstepBatch:
 
     # ------------------------------------------------------------------
     def _decomposition(self, diag_row: np.ndarray) -> Optional[tuple]:
-        """Shared memoised eigendecomposition for one replica's gap."""
-        key = diag_row.tobytes()
-        if key in self._decomp_cache:
-            return self._decomp_cache[key]
-        n = self._n
-        mats = self._macro_base.copy()
-        idx = np.arange(n)
-        mats[:, idx, idx] -= diag_row
-        mats /= self._macro_scale[:, :, None]
-        try:
-            a_inv = np.linalg.inv(mats)
-            vals, vecs = np.linalg.eig(mats)
-            vecs_inv = np.linalg.inv(vecs)
-            decomp = (a_inv, vals, vecs, vecs_inv)
-        except np.linalg.LinAlgError:
-            decomp = None
-        if len(self._decomp_cache) >= self._decomp_cap:
-            self._decomp_cache.clear()
-        self._decomp_cache[key] = decomp
-        return decomp
+        """One replica's gap decomposition, via the shared spectral cache.
+
+        Replicas of the same scenario mostly agree on their steady-state
+        actuation pattern, so the batch resolves a handful of distinct
+        diagonals per run — and shares them with any solo run of the
+        same topology in this process.
+        """
+        return spectral.decomposition(self._macro_key, diag_row,
+                                      self._macro_base,
+                                      self._macro_scale, self._solver)
 
     def _advance_rooms_macro(self, dt: float, flow, sup_t, sup_w,
                              panel_heat, out_t, out_w, out_c) -> None:
@@ -910,6 +895,45 @@ class LockstepBatch:
         self._u_flap_tgt = np.where(step > 0, 1.0, 0.0)
         self._u_pump_v = _pump_voltage(coil_flow, self._c_maxf,
                                        self._c_maxv, self._c_dead)
+
+    def on_record(self, now: float) -> None:
+        """Mirror the master's recorder tick into every replica trace.
+
+        The master records through :meth:`BubbleZero._record` as usual;
+        this seam writes the same series names from the batch arrays so
+        a finalized replica summarises like a finished solo run
+        (comfort/dew violation minutes need the trace, not just final
+        state).  Values live in the lockstep tolerance lane, like the
+        rest of the replica trajectory.
+        """
+        if not self._r:
+            return
+        dew_z = dew_point_from_humidity_ratio_array(self._W)
+        for r, rep in enumerate(self.replicas):
+            trace = rep.sim.trace
+            outdoor = rep.plant.outdoor(now)
+            trace.record("outdoor/temp", now, outdoor.temp_c)
+            trace.record("outdoor/dew", now, outdoor.dew_point_c)
+            for i in range(self._n):
+                trace.record(f"subspace/{i}/temp", now,
+                             float(self._T[r, i]))
+                trace.record(f"subspace/{i}/dew", now,
+                             float(dew_z[r, i]))
+                trace.record(f"subspace/{i}/co2", now,
+                             float(self._C[r, i]))
+            trace.record("tank/18C", now, float(self._r_tank[0][r]))
+            trace.record("tank/8C", now, float(self._v_tank[0][r]))
+            for p in range(self._np):
+                trace.record(f"panel/{p}/mix_temp", now,
+                             float(self._p_last_mixt[r, p]))
+                total = float(self._p_last_total[r, p])
+                trace.record(f"panel/{p}/mix_flow", now,
+                             total if total > 0 else 0.0)
+                if self._gap_count:
+                    trace.record(f"panel/{p}/heat", now,
+                                 float(self._p_last_heat[r, p]))
+                    trace.record(f"panel/{p}/surface", now,
+                                 float(self._p_last_surf[r, p]))
 
     # ------------------------------------------------------------------
     # Lifecycle

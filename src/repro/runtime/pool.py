@@ -51,14 +51,20 @@ from repro.runtime.progress import (
     ProgressEvent,
     emit,
 )
-from repro.runtime.spec import RunFailure, RunResult, RunSpec, execute_spec
+from repro.runtime.spec import (
+    BatchRunResult,
+    RunFailure,
+    RunResult,
+    RunSpec,
+    execute_spec,
+)
 
 DEFAULT_START_METHOD = "spawn"
 
 # How long the multiplex wait may block between liveness checks.
 _POLL_S = 0.25
 
-RunPayload = Union[RunResult, RunFailure]
+RunPayload = Union[RunResult, BatchRunResult, RunFailure]
 
 
 def default_worker_count(n_tasks: Optional[int] = None) -> int:

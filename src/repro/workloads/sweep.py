@@ -23,7 +23,12 @@ from repro.core.config import BubbleZeroConfig, NetworkConfig
 from repro.obs.events import EventLog
 from repro.obs.manifest import build_manifest
 from repro.runtime.pool import RunPayload
-from repro.runtime.spec import RunFailure, RunResult, RunSpec
+from repro.runtime.spec import (
+    BatchRunResult,
+    RunFailure,
+    RunResult,
+    RunSpec,
+)
 from repro.scenarios.registry import get_scenario
 
 
@@ -37,6 +42,12 @@ class SweepConfig:
     script: str = "none"
     direct: bool = False
     fixed_tx: bool = False
+    # Shard the seeds into consecutive groups of this size, each run as
+    # one :class:`~repro.runtime.lockstep.LockstepBatch` (first seed of
+    # a group = bit-exact master lane, the rest replica lane).  Groups
+    # still fan out over the process pool, so it composes with
+    # ``workers``.  None = one independent run per seed (the default).
+    lockstep_batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -47,6 +58,15 @@ class SweepConfig:
             raise ValueError("sweep runs must have positive length")
         if not 0 <= self.warmup_minutes < self.run_minutes:
             raise ValueError("warmup must fit inside the run")
+        if self.lockstep_batch is not None:
+            if self.lockstep_batch < 2:
+                raise ValueError("lockstep batch must be at least 2 seeds")
+            if not self.direct:
+                raise ValueError(
+                    "lockstep batching requires a direct (wired) sweep")
+            if self.script != "none":
+                raise ValueError(
+                    "lockstep batching requires a scriptless sweep")
 
 
 @dataclass
@@ -74,6 +94,7 @@ class SweepResult:
             "script": self.config.script,
             "direct": self.config.direct,
             "fixed_tx": self.config.fixed_tx,
+            "lockstep_batch": self.config.lockstep_batch,
             "runs": [
                 {
                     "label": run.label,
@@ -90,27 +111,52 @@ class SweepResult:
 
 def sweep_specs(config: SweepConfig,
                 telemetry: bool = False) -> List[RunSpec]:
-    """One spec per seed, in the configured seed order.
+    """One spec per seed — or per lockstep group — in seed order.
 
     Every replicate is the registry's ``sweep-default`` scenario with
     the per-seed config and the sweep's trial-shape overrides swapped
-    in, so the sweep and the registry can never drift apart.
+    in, so the sweep and the registry can never drift apart.  With
+    ``lockstep_batch`` set, consecutive seeds are sharded into groups
+    of that size and each group becomes one lockstep RunSpec (a
+    trailing group of one seed degrades to a plain solo spec).
     """
     base = get_scenario("sweep-default")
     network = NetworkConfig(
         enabled=not config.direct,
         bt_mode="fixed" if config.fixed_tx else "adaptive")
-    return [
-        RunSpec(label=f"seed-{seed}",
-                scenario=replace(
-                    base, name=f"seed-{seed}",
-                    config=BubbleZeroConfig(seed=seed, network=network),
-                    script=config.script,
-                    run_minutes=config.run_minutes,
-                    warmup_minutes=config.warmup_minutes),
-                telemetry=telemetry)
-        for seed in config.seeds
-    ]
+
+    def scenario_for(seed: int, name: str):
+        return replace(
+            base, name=name,
+            config=BubbleZeroConfig(seed=seed, network=network),
+            script=config.script,
+            run_minutes=config.run_minutes,
+            warmup_minutes=config.warmup_minutes)
+
+    if config.lockstep_batch is None:
+        return [
+            RunSpec(label=f"seed-{seed}",
+                    scenario=scenario_for(seed, f"seed-{seed}"),
+                    telemetry=telemetry)
+            for seed in config.seeds
+        ]
+    size = config.lockstep_batch
+    specs: List[RunSpec] = []
+    for start in range(0, len(config.seeds), size):
+        group = config.seeds[start:start + size]
+        if len(group) == 1:
+            specs.append(RunSpec(
+                label=f"seed-{group[0]}",
+                scenario=scenario_for(group[0], f"seed-{group[0]}"),
+                telemetry=telemetry))
+            continue
+        label = f"seeds-{group[0]}-{group[-1]}"
+        specs.append(RunSpec(
+            label=label,
+            scenario=scenario_for(group[0], label),
+            telemetry=telemetry,
+            lockstep_seeds=tuple(group)))
+    return specs
 
 
 def sweep_manifest(config: SweepConfig) -> Dict[str, object]:
@@ -124,22 +170,33 @@ def sweep_manifest(config: SweepConfig) -> Dict[str, object]:
             "script": config.script,
             "direct": config.direct,
             "fixed_tx": config.fixed_tx,
+            "lockstep_batch": config.lockstep_batch,
         },
         seed=config.seeds[0])
+
+
+def _expected_payloads(config: SweepConfig) -> int:
+    if config.lockstep_batch is None:
+        return len(config.seeds)
+    return math.ceil(len(config.seeds) / config.lockstep_batch)
 
 
 def merge_sweep(config: SweepConfig,
                 payloads: Sequence[RunPayload]) -> SweepResult:
     """Fold executor payloads (in :func:`sweep_specs` order) into a
     result; failed replicates become structured failure rows and are
-    excluded from the aggregates."""
-    if len(payloads) != len(config.seeds):
-        raise ValueError(f"expected {len(config.seeds)} payloads, "
+    excluded from the aggregates.  Lockstep group payloads
+    (:class:`BatchRunResult`) are flattened into their per-seed rows,
+    preserving seed order."""
+    if len(payloads) != _expected_payloads(config):
+        raise ValueError(f"expected {_expected_payloads(config)} payloads, "
                          f"got {len(payloads)}")
     result = SweepResult(config=config)
     for payload in payloads:
         if isinstance(payload, RunFailure):
             result.failures.append(payload)
+        elif isinstance(payload, BatchRunResult):
+            result.runs.extend(payload.results)
         else:
             result.runs.append(payload)
     return result
@@ -199,11 +256,16 @@ def run_sweep(config: SweepConfig,
     result.manifest = sweep_manifest(config)
     if telemetry:
         from repro.obs.status import write_run_telemetry
-        obs_payloads = {
-            payload.label: payload.obs
-            for payload in payloads
-            if not isinstance(payload, RunFailure)
-        }
+        obs_payloads = {}
+        for payload in payloads:
+            if isinstance(payload, RunFailure):
+                continue
+            if isinstance(payload, BatchRunResult):
+                # The group's observability watched the master lane
+                # only; file it under the group label.
+                obs_payloads[payload.label] = payload.results[0].obs
+            else:
+                obs_payloads[payload.label] = payload.obs
         write_run_telemetry(telemetry_dir, result.manifest,
                             [spec.label for spec in specs], obs_payloads,
                             pool_events.records)

@@ -180,16 +180,26 @@ class TestMacroRoomStep:
             assert sm.co2_ppm == pytest.approx(se.co2_ppm, abs=1.0)
 
     def test_macro_decomposition_cache_reused(self):
+        from repro.physics import spectral
         outdoor = ConstantWeather(28.9, 27.4).state_at(0.0)
         inputs = _trial_inputs()
         room = Room()
+        spectral.cache_clear()
         room.macro_step(4.0, outdoor, inputs)
-        assert len(room._macro_cache) == 1
+        assert spectral.cache_stats()["entries"] == 1
         room.macro_step(4.0, outdoor, inputs)
-        assert len(room._macro_cache) == 1  # same losses -> same entry
+        stats = spectral.cache_stats()
+        assert stats["entries"] == 1  # same losses -> same entry
+        assert stats["hits"] == 1
         inputs[0].vent_flow_m3s = 0.05
         room.macro_step(4.0, outdoor, inputs)
-        assert len(room._macro_cache) == 2
+        assert spectral.cache_stats()["entries"] == 2
+        # A second room with identical structure shares the entries.
+        other = Room()
+        other.macro_step(4.0, outdoor, inputs)
+        stats = spectral.cache_stats()
+        assert stats["entries"] == 2
+        assert stats["hits"] == 2
 
     def test_macro_respects_floors(self):
         """The w/CO2 floors hold across a gap in which they bind."""
