@@ -1,0 +1,215 @@
+"""Data-age analytics over causal traces, and trace-diff regression.
+
+Consumes the span records produced by :mod:`repro.obs.trace` and turns
+them into the latency view the paper's control story cares about: how
+old was the sensor data a board acted on (sensing→actuation age), where
+did the time go (MAC access vs airtime, per hop type), and what ate the
+packets that never arrived (backoffs, CCA failures, queue admission
+drops, collisions).
+
+Two consumers:
+
+* ``repro status`` and the chaos SLO scorer fold
+  :func:`summarize_dataage` numbers into their tables.
+* ``repro trace --diff`` compares two saved summaries with
+  :func:`diff_summaries` — the regression gate CI runs against a
+  committed seed summary.
+
+Everything here is pure post-processing of already-written records; no
+percentile is interpolated (nearest-rank only) so two machines always
+agree byte-for-byte on the same trace file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs import trace as tr
+
+DATAAGE_SCHEMA_VERSION = 1
+
+# Percentiles reported for every latency population, as (label, q).
+_PERCENTILES = (("p50_s", 0.50), ("p95_s", 0.95), ("p99_s", 0.99))
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``values`` must be non-empty and sorted ascending.
+    """
+    if not values:
+        raise ValueError("percentile of empty population")
+    if not (0.0 < q <= 1.0):
+        raise ValueError("q must be in (0, 1]")
+    rank = int(-(-q * len(values) // 1))  # ceil without math import
+    return values[max(rank, 1) - 1]
+
+
+def _stats(values: List[float]) -> Dict[str, object]:
+    """The standard latency roll-up for one population of seconds."""
+    ordered = sorted(values)
+    out: Dict[str, object] = {
+        "n": len(ordered),
+        "mean_s": sum(ordered) / len(ordered),
+        "max_s": ordered[-1],
+    }
+    for label, q in _PERCENTILES:
+        out[label] = percentile(ordered, q)
+    return out
+
+
+def summarize_dataage(records: Iterable[Dict[str, object]],
+                      sampled_out: int = 0) -> Dict[str, object]:
+    """Roll a span stream up into the data-age analytics dict.
+
+    ``records`` may include ``trace.summary`` pseudo-records (they are
+    skipped, except that a summary's own ``sampled_out`` is folded in
+    when the caller did not pass one explicitly).
+
+    Returns ``{"schema_version", "traces", "statuses", "ages",
+    "hops", "attribution"}`` where ``ages`` carries the overall and
+    per-zone sensing→actuation distributions and ``hops`` the per-hop-
+    type (MAC access, airtime) latency breakdown.
+    """
+    ages: List[float] = []
+    zone_ages: Dict[str, List[float]] = {}
+    mac_lat: List[float] = []
+    air_lat: List[float] = []
+    statuses: Dict[str, int] = {}
+    traces = 0
+    attribution = {
+        "mac_drops": 0,
+        "admission_drops": 0,
+        "backoffs": 0,
+        "cca_failures": 0,
+        "collisions": 0,
+        "sampled_out": int(sampled_out),
+    }
+    for record in records:
+        name = record.get("name")
+        if name == tr.TRACE_SUMMARY:
+            if not sampled_out:
+                attribution["sampled_out"] += int(
+                    record.get("sampled_out", 0))
+            continue
+        if name == tr.SENSE:
+            traces += 1
+            status = str(record.get("status"))
+            statuses[status] = statuses.get(status, 0) + 1
+        elif name == tr.ACTUATE:
+            age = float(record["age_s"])
+            ages.append(age)
+            zone = record.get("zone")
+            if zone is not None:
+                zone_ages.setdefault(str(zone), []).append(age)
+        elif name == tr.MAC:
+            mac_lat.append(float(record["t1"]) - float(record["t0"]))
+            attribution["backoffs"] += max(
+                int(record.get("attempts", 1)) - 1, 0)
+            attribution["cca_failures"] += int(
+                record.get("cca_failures", 0))
+            outcome = record.get("outcome")
+            if outcome == "dropped":
+                attribution["mac_drops"] += 1
+            elif outcome == "admission-drop":
+                attribution["admission_drops"] += 1
+        elif name == tr.AIR:
+            air_lat.append(float(record["t1"]) - float(record["t0"]))
+            attribution["collisions"] += int(record.get("collided", 0))
+    summary: Dict[str, object] = {
+        "schema_version": DATAAGE_SCHEMA_VERSION,
+        "traces": traces,
+        "statuses": dict(sorted(statuses.items())),
+        "ages": {
+            "overall": _stats(ages) if ages else None,
+            "zones": {zone: _stats(values)
+                      for zone, values in sorted(zone_ages.items())},
+        },
+        "hops": {
+            "mac": _stats(mac_lat) if mac_lat else None,
+            "air": _stats(air_lat) if air_lat else None,
+        },
+        "attribution": attribution,
+    }
+    return summary
+
+
+def actuation_ages(records: Iterable[Dict[str, object]]
+                   ) -> List[Dict[str, object]]:
+    """Every actuation as ``{"t", "age_s", "zone", "device"}``.
+
+    Time-resolved view for windowed scoring (the chaos SLO scorer bins
+    these into its windows); sorted by actuation time.
+    """
+    rows = [{"t": float(r["t0"]), "age_s": float(r["age_s"]),
+             "zone": r.get("zone"), "device": r.get("device")}
+            for r in records if r.get("name") == tr.ACTUATE]
+    rows.sort(key=lambda row: (row["t"], str(row["device"])))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Trace-diff regression gate
+# ----------------------------------------------------------------------
+def _age_block(summary: Dict[str, object],
+               zone: Optional[str]) -> Optional[Dict[str, object]]:
+    ages = summary.get("ages") or {}
+    if zone is None:
+        return ages.get("overall")
+    return (ages.get("zones") or {}).get(zone)
+
+
+def diff_summaries(baseline: Dict[str, object],
+                   candidate: Dict[str, object],
+                   tolerance_pct: float = 10.0,
+                   min_delta_s: float = 0.05) -> Dict[str, object]:
+    """Compare two :func:`summarize_dataage` outputs as a gate.
+
+    A *regression* is a p95/p99 sensing→actuation age (overall or in
+    any zone present in both summaries) that grew by more than
+    ``tolerance_pct`` percent AND more than ``min_delta_s`` seconds
+    absolute (the floor keeps micro-jitter on tiny scenarios from
+    tripping the gate), or a drop-attribution counter (MAC drops,
+    admission drops) that increased at all.
+
+    Returns ``{"ok": bool, "regressions": [...], "rows": [...]}`` where
+    each row is ``(metric, baseline, candidate, delta)`` for reporting.
+    """
+    regressions: List[str] = []
+    rows: List[Dict[str, object]] = []
+
+    scopes: List[Optional[str]] = [None]
+    base_zones = set((baseline.get("ages") or {}).get("zones") or {})
+    cand_zones = set((candidate.get("ages") or {}).get("zones") or {})
+    scopes.extend(sorted(base_zones & cand_zones))
+    for zone in scopes:
+        base = _age_block(baseline, zone)
+        cand = _age_block(candidate, zone)
+        if not base or not cand:
+            continue
+        scope = "overall" if zone is None else f"zone {zone}"
+        for label, _ in _PERCENTILES:
+            if label == "p50_s":
+                continue
+            b = float(base[label])
+            c = float(cand[label])
+            delta = c - b
+            rows.append({"metric": f"age {label} ({scope})",
+                         "baseline": b, "candidate": c, "delta": delta})
+            grew_pct = delta > abs(b) * tolerance_pct / 100.0
+            if grew_pct and delta > min_delta_s:
+                regressions.append(
+                    f"age {label} ({scope}): {b:.3f}s -> {c:.3f}s "
+                    f"(+{delta:.3f}s, > {tolerance_pct:g}% tolerance)")
+
+    base_attr = baseline.get("attribution") or {}
+    cand_attr = candidate.get("attribution") or {}
+    for key in ("mac_drops", "admission_drops"):
+        b = int(base_attr.get(key, 0))
+        c = int(cand_attr.get(key, 0))
+        rows.append({"metric": key, "baseline": b, "candidate": c,
+                     "delta": c - b})
+        if c > b:
+            regressions.append(f"{key}: {b} -> {c}")
+    return {"ok": not regressions, "regressions": regressions,
+            "rows": rows}

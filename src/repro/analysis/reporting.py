@@ -180,12 +180,15 @@ def render_chaos_report(result) -> str:
         "",
         "| run | windows ok | comfort (min) | dew (min) "
         "| degraded (min) | faults | unrecovered | recovery mean (s) "
+        "| age p95 (s) | Δfault age (s) "
         "| SLO | discrete hash |",
-        "|---|---|---|---|---|---|---|---|---|---|",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for run in result.runs:
         totals = run.report.totals()
         mean_s = totals["recovery_mean_s"]
+        age_p95 = totals["dataage_p95_s"]
+        age_delta = totals["fault_age_delta_s"]
         lines.append(
             f"| {run.label} "
             f"| {totals['windows_passed']}/{totals['windows']} "
@@ -195,13 +198,15 @@ def render_chaos_report(result) -> str:
             f"| {totals['faults']} "
             f"| {totals['unrecovered']} "
             f"| {'-' if mean_s is None else f'{mean_s:.0f}'} "
+            f"| {'-' if age_p95 is None else f'{age_p95:.1f}'} "
+            f"| {'-' if age_delta is None else f'{age_delta:+.1f}'} "
             f"| {'pass' if totals['passed'] else 'FAIL'} "
             f"| `{run.discrete_hash[:16]}` |")
     for failure in result.failures:
         lines.append(
             f"| {failure.label} | RUN FAILED: {failure.kind} after "
             f"{failure.attempts} attempt(s) — {failure.message} "
-            + "| - " * 8 + "|")
+            + "| - " * 10 + "|")
     comparison = result.comparison()
     if comparison:
         lines += [
@@ -226,7 +231,10 @@ def render_chaos_report(result) -> str:
             "Legend: Δ is fixed minus adaptive on the shared schedule; "
             "*degraded* counts minutes any estimate sat at fallback "
             "tier ≥ 2; *unrecovered* counts faults whose comfort "
-            "recovery was never observed inside the horizon.",
+            "recovery was never observed inside the horizon; "
+            "*age p95* is the p95 sensing→actuation data age and "
+            "*Δfault age* its fault-active-minus-nominal delta, both "
+            "from the causal trace (- without --trace).",
         ]
     return "\n".join(lines)
 

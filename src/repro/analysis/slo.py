@@ -290,6 +290,10 @@ class SloWindow:
     faults_injected: int
     faults_cleared: int
     breached: Tuple[str, ...]
+    # p95 sensing→actuation data age over actuations inside the window
+    # (None when the run carried no causal trace, or the window saw no
+    # actuation) — explains *why* staleness minutes accrued.
+    dataage_p95_s: Optional[float] = None
 
     @property
     def passed(self) -> bool:
@@ -303,7 +307,8 @@ class SloWindow:
                 "faults_injected": self.faults_injected,
                 "faults_cleared": self.faults_cleared,
                 "breached": ",".join(self.breached),
-                "passed": self.passed}
+                "passed": self.passed,
+                "dataage_p95_s": self.dataage_p95_s}
 
 
 @dataclass
@@ -318,6 +323,12 @@ class SloReport:
     budgets: SloBudgets
     windows: List[SloWindow] = field(default_factory=list)
     recoveries: List[FaultRecovery] = field(default_factory=list)
+    # Whole-run p95 sensing→actuation data age, and the delta between
+    # the p95 inside fault-active intervals and outside them (positive
+    # = actuations made during faults used staler data).  Both None
+    # without a causal trace.
+    dataage_p95_s: Optional[float] = None
+    fault_age_delta_s: Optional[float] = None
 
     @property
     def passed(self) -> bool:
@@ -342,6 +353,8 @@ class SloReport:
             "recovery_mean_s": (sum(observed) / len(observed)
                                 if observed else None),
             "passed": self.passed,
+            "dataage_p95_s": self.dataage_p95_s,
+            "fault_age_delta_s": self.fault_age_delta_s,
         }
 
     def summary_row(self) -> Dict[str, object]:
@@ -367,13 +380,21 @@ class SloReport:
 def score_run(records: Sequence[Dict[str, object]], label: str,
               t0: float, horizon_s: float, window_s: float,
               budgets: SloBudgets,
-              warmup_s: float = 0.0) -> SloReport:
+              warmup_s: float = 0.0,
+              ages: Optional[Sequence[Dict[str, object]]] = None
+              ) -> SloReport:
     """Score one run's event list against the budgets.
 
     ``t0`` is the run's absolute start (the config's epoch; event
     timestamps are absolute sim time), ``horizon_s`` the run length and
     ``warmup_s`` the cold-start transient excluded from the first
     window — the same convention as the campaign scoring.
+
+    ``ages``, when the run carried a causal trace, is the time-resolved
+    actuation list of :func:`repro.analysis.dataage.actuation_ages`
+    (``{"t", "age_s", ...}`` rows sorted by ``t``); it adds the per-
+    window and whole-run p95 data-age columns plus the fault-active
+    age delta to the report.
     """
     if window_s <= 0:
         raise ValueError("scoring window must be positive")
@@ -418,12 +439,70 @@ def score_run(records: Sequence[Dict[str, object]], label: str,
             index=index, t0=start, t1=end, comfort_min=comfort_min,
             dew_min=dew_min, degraded_min=degraded_min,
             faults_injected=injected, faults_cleared=cleared,
-            breached=breached))
+            breached=breached,
+            dataage_p95_s=_window_age_p95(ages, start, end)))
         start = end
         index += 1
 
     report.recoveries = fault_recoveries(records, comfort_union, horizon)
+    if ages:
+        report.dataage_p95_s = _age_p95(
+            [float(a["age_s"]) for a in ages])
+        report.fault_age_delta_s = _fault_age_delta(
+            records, ages, horizon)
     return report
+
+
+def _age_p95(values: List[float]) -> Optional[float]:
+    if not values:
+        return None
+    from repro.analysis.dataage import percentile
+    return percentile(sorted(values), 0.95)
+
+
+def _window_age_p95(ages: Optional[Sequence[Dict[str, object]]],
+                    t0: float, t1: float) -> Optional[float]:
+    if not ages:
+        return None
+    return _age_p95([float(a["age_s"]) for a in ages
+                     if t0 <= float(a["t"]) < t1])
+
+
+def _fault_age_delta(records: Sequence[Dict[str, object]],
+                     ages: Sequence[Dict[str, object]],
+                     horizon: float) -> Optional[float]:
+    """p95 data age during fault-active intervals minus outside them.
+
+    None unless both populations are non-empty (a run with no faults,
+    or faults that never coincided with an actuation, has no delta to
+    report).
+    """
+    intervals = []
+    for injected, cleared in _pair_faults(records):
+        start = float(injected["t"])
+        end = horizon if cleared is None else float(cleared["t"])
+        if end > start:
+            intervals.append((start, end))
+    if not intervals:
+        return None
+    intervals.sort()
+    merged: List[List[float]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    starts = [span[0] for span in merged]
+    inside: List[float] = []
+    outside: List[float] = []
+    for row in ages:
+        t = float(row["t"])
+        idx = bisect.bisect_right(starts, t) - 1
+        in_fault = idx >= 0 and t < merged[idx][1]
+        (inside if in_fault else outside).append(float(row["age_s"]))
+    if not inside or not outside:
+        return None
+    return _age_p95(inside) - _age_p95(outside)
 
 
 def score_system(system, label: str, window_s: float,
@@ -452,14 +531,17 @@ ROW_SCHEMA: Dict[str, Dict[str, tuple]] = {
                      "t1": _NUM, "comfort_min": _NUM, "dew_min": _NUM,
                      "degraded_min": _NUM, "faults_injected": (int,),
                      "faults_cleared": (int,), "breached": (str,),
-                     "passed": (bool,)},
+                     "passed": (bool,),
+                     "dataage_p95_s": _NULLABLE_NUM},
     "chaos.summary": {"run": (str,), "windows": (int,),
                       "windows_passed": (int,), "comfort_min": _NUM,
                       "dew_min": _NUM, "degraded_min": _NUM,
                       "faults": (int,), "unrecovered": (int,),
                       "recovery_max_s": _NULLABLE_NUM,
                       "recovery_mean_s": _NULLABLE_NUM,
-                      "passed": (bool,)},
+                      "passed": (bool,),
+                      "dataage_p95_s": _NULLABLE_NUM,
+                      "fault_age_delta_s": _NULLABLE_NUM},
 }
 
 

@@ -62,6 +62,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "(alias for --script paper-phase-two)")
     run.add_argument("--export-csv", metavar="PATH")
     run.add_argument("--export-json", metavar="PATH")
+    run.add_argument("--telemetry", metavar="DIR", default=None,
+                     help="record the run's observability artifacts "
+                          "(events, metrics, health, profile) into "
+                          "this directory; the run stays bit-identical")
+    run.add_argument("--trace", action="store_true",
+                     help="also record causal traces of the "
+                          "sensing→actuation pipeline (trace.jsonl in "
+                          "the --telemetry directory; requires it)")
+    run.add_argument("--trace-sample", type=int, default=None,
+                     metavar="N",
+                     help="trace one sensing epoch in N (deterministic "
+                          "head sampling; default the shipped stride, "
+                          "1 = trace every epoch)")
 
     scenarios = sub.add_parser(
         "scenarios", help="list the registered experiment scenarios")
@@ -133,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="record per-run observability (events, "
                                "metrics, health, profile) into this "
                                "directory; runs stay bit-identical")
+    campaign.add_argument("--trace", action="store_true",
+                          help="also record per-run causal traces "
+                               "(trace.jsonl; requires --telemetry)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -175,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--telemetry", metavar="DIR", default=None,
                        help="record per-replicate observability into "
                             "this directory; runs stay bit-identical")
+    sweep.add_argument("--trace", action="store_true",
+                       help="also record per-replicate causal traces "
+                            "(trace.jsonl; requires --telemetry)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -221,9 +240,39 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--telemetry", metavar="DIR", default=None,
                        help="record per-run observability artifacts "
                             "into this directory")
+    chaos.add_argument("--trace", action="store_true",
+                       help="also record per-run causal traces and "
+                            "fold p95 data-age / fault-age-delta "
+                            "columns into the SLO report")
     chaos.add_argument("--strict", action="store_true",
                        help="exit 1 when any run misses its SLO "
                             "budgets (execution failures always exit 1)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect, export and diff recorded causal traces "
+             "(see repro.obs.trace / repro.analysis.dataage)")
+    trace.add_argument("--telemetry", metavar="DIR", required=True,
+                       help="telemetry directory containing trace.jsonl")
+    trace.add_argument("--run", metavar="LABEL", default=None,
+                       help="run label to inspect (required when the "
+                            "directory holds several traced runs)")
+    trace.add_argument("--tree", type=int, metavar="TRACE_ID",
+                       default=None,
+                       help="render this trace's span tree (default: "
+                            "the first completed trace)")
+    trace.add_argument("--export-chrome", metavar="PATH", default=None,
+                       help="write a Chrome trace_event JSON (open in "
+                            "chrome://tracing or ui.perfetto.dev)")
+    trace.add_argument("--save-summary", metavar="PATH", default=None,
+                       help="write the data-age summary JSON here "
+                            "(the --diff baseline format)")
+    trace.add_argument("--diff", metavar="BASELINE", default=None,
+                       help="compare against a saved summary; exits 1 "
+                            "on a data-age/drop regression")
+    trace.add_argument("--tolerance-pct", type=float, default=10.0,
+                       help="relative p95/p99 growth tolerated by "
+                            "--diff (default: 10)")
 
     status = sub.add_parser(
         "status",
@@ -274,12 +323,29 @@ def _run_scenario_spec(args: argparse.Namespace) -> ScenarioSpec:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.trace and not args.telemetry:
+        print("--trace requires --telemetry (the spans are written as "
+              "trace.jsonl inside the telemetry directory)",
+              file=sys.stderr)
+        return 2
+    if args.trace_sample is not None and not args.trace:
+        print("--trace-sample only makes sense with --trace",
+              file=sys.stderr)
+        return 2
+    if args.trace_sample is not None and args.trace_sample < 1:
+        print("--trace-sample must be >= 1", file=sys.stderr)
+        return 2
     try:
         spec = _run_scenario_spec(args)
     except (KeyError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
-    system, _ = prepare_run(spec)
+    obs = None
+    if args.telemetry:
+        from repro.obs import create_observability
+        obs = create_observability(trace=args.trace,
+                                   trace_sample=args.trace_sample)
+    system, _ = prepare_run(spec, obs=obs)
     system.start()
     remaining = spec.run_minutes
     print(f"{'time':>8} {'temp':>7} {'dew':>7} {'co2':>6}")
@@ -303,6 +369,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.export_json:
         export_summary_json(system, args.export_json)
         print(f"wrote summary to {args.export_json}")
+    if obs is not None:
+        from repro.obs.collect import obs_payload
+        from repro.obs.manifest import build_manifest
+        from repro.obs.status import write_system_telemetry
+        manifest = build_manifest(
+            command="run",
+            config_dict={"scenario": spec.name,
+                         "run_minutes": spec.run_minutes,
+                         "trace": args.trace,
+                         "trace_sample": obs.trace.sample_every
+                         if args.trace else None},
+            seed=spec.config.seed)
+        write_system_telemetry(args.telemetry, manifest, spec.name,
+                               obs_payload(system, obs))
+        print(f"wrote telemetry to {args.telemetry}")
     return 0
 
 
@@ -401,6 +482,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         run_campaign,
     )
 
+    if args.trace and not args.telemetry:
+        print("--trace requires --telemetry", file=sys.stderr)
+        return 2
     config = (quick_campaign_config(seed=args.seed) if args.quick
               else full_campaign_config(seed=args.seed))
     overrides = {}
@@ -439,7 +523,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         result = run_campaign(
             config, progress=lambda m: print(f"  {m}", flush=True),
             workers=workers, timeout_s=args.timeout_s,
-            telemetry_dir=args.telemetry)
+            telemetry_dir=args.telemetry, trace=args.trace)
     except CampaignExecutionError as exc:
         print(f"campaign aborted: {exc}", file=sys.stderr)
         return 1
@@ -477,6 +561,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runtime.progress import ProgressPrinter
     from repro.workloads.sweep import SweepConfig, run_sweep
 
+    if args.trace and not args.telemetry:
+        print("--trace requires --telemetry", file=sys.stderr)
+        return 2
     seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
     try:
         config = SweepConfig(seeds=seeds, run_minutes=args.minutes,
@@ -502,7 +589,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               f"{workers} worker(s)")
     result = run_sweep(config, workers=workers, timeout_s=args.timeout_s,
                        progress=ProgressPrinter(jobs),
-                       telemetry_dir=args.telemetry)
+                       telemetry_dir=args.telemetry, trace=args.trace)
     report = render_sweep_report(result)
     print()
     print(report)
@@ -547,7 +634,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                              seeds=seeds, controllers=controllers,
                              window_minutes=args.window_minutes,
                              warmup_minutes=args.warmup_minutes,
-                             hazard=hazard)
+                             hazard=hazard, trace=args.trace)
         # Resolve the scenario (and its network mode) before any run
         # starts, so a typo or a direct-mode base fails immediately.
         from repro.workloads.chaos import chaos_specs
@@ -614,6 +701,114 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(forwarded)
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.dataage import diff_summaries, summarize_dataage
+    from repro.analysis.reporting import render_table
+    from repro.obs import trace as tr
+    from repro.obs.status import load_telemetry
+
+    records = load_telemetry(args.telemetry).get("trace") or []
+    if not records:
+        print(f"no trace.jsonl in {args.telemetry}; rerun the producing "
+              "command with --trace", file=sys.stderr)
+        return 2
+    runs = sorted({str(r.get("run")) for r in records})
+    run = args.run
+    if run is None:
+        if len(runs) > 1:
+            print("directory holds several traced runs; pick one with "
+                  f"--run: {', '.join(runs)}", file=sys.stderr)
+            return 2
+        run = runs[0]
+    elif run not in runs:
+        print(f"no traced run {run!r}; available: {', '.join(runs)}",
+              file=sys.stderr)
+        return 2
+    selected = [r for r in records if str(r.get("run")) == run]
+    spans = tr.span_records(selected)
+    summary = summarize_dataage(selected)
+
+    print(f"run {run}: {summary['traces']} trace(s), "
+          f"{len(spans)} span(s)")
+    statuses = summary["statuses"]
+    if statuses:
+        print("  " + ", ".join(f"{name}: {count}"
+                               for name, count in statuses.items()))
+    rows = []
+    for scope, stats in (
+            [("sensing→actuation age", summary["ages"]["overall"])]
+            + [(f"age · zone {zone}", zone_stats)
+               for zone, zone_stats in summary["ages"]["zones"].items()]
+            + [("MAC access", summary["hops"]["mac"]),
+               ("airtime", summary["hops"]["air"])]):
+        if stats is None:
+            continue
+        rows.append((scope, int(stats["n"]), f"{stats['p50_s']:.4f}",
+                     f"{stats['p95_s']:.4f}", f"{stats['p99_s']:.4f}",
+                     f"{stats['max_s']:.4f}"))
+    if rows:
+        print()
+        print(render_table("Latency breakdown (seconds)",
+                           ["population", "n", "p50", "p95", "p99",
+                            "max"], rows))
+    attribution = summary["attribution"]
+    print()
+    print(render_table(
+        "Loss & retry attribution", ["counter", "count"],
+        sorted(attribution.items())))
+
+    trace_id = args.tree
+    if trace_id is None and spans:
+        trace_id = min(int(span["trace"]) for span in spans)
+    if trace_id is not None:
+        print()
+        print(tr.render_span_tree(spans, trace_id), end="")
+
+    if args.export_chrome:
+        out = Path(args.export_chrome)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as handle:
+            json.dump(tr.chrome_trace(spans), handle, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote Chrome trace to {out} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    if args.save_summary:
+        out = Path(args.save_summary)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True,
+                      default=float)
+            handle.write("\n")
+        print(f"wrote data-age summary to {out}")
+    if args.diff:
+        try:
+            with open(args.diff, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read baseline {args.diff}: {exc}",
+                  file=sys.stderr)
+            return 2
+        diff = diff_summaries(baseline, summary,
+                              tolerance_pct=args.tolerance_pct)
+        print()
+        print(render_table(
+            f"Diff vs {args.diff} (tolerance {args.tolerance_pct:g}%)",
+            ["metric", "baseline", "candidate", "delta"],
+            [(row["metric"], row["baseline"], row["candidate"],
+              row["delta"]) for row in diff["rows"]]))
+        if not diff["ok"]:
+            print(f"\n{len(diff['regressions'])} regression(s):",
+                  file=sys.stderr)
+            for regression in diff["regressions"]:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
+        print("\nno data-age regressions")
+    return 0
+
+
 def cmd_status(args: argparse.Namespace) -> int:
     from repro.obs.status import (
         load_telemetry,
@@ -641,7 +836,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "cop": cmd_cop, "lifetime": cmd_lifetime,
                 "bench": cmd_bench, "campaign": cmd_campaign,
                 "sweep": cmd_sweep, "chaos": cmd_chaos,
-                "status": cmd_status}
+                "trace": cmd_trace, "status": cmd_status}
     return handlers[args.command](args)
 
 

@@ -76,6 +76,9 @@ class Board:
         self._report_task: Optional[PeriodicTask] = None
         self._report_name = f"{device_id}/report"
         self._started = False
+        # Causal-trace collector (shared disabled singleton when
+        # tracing is off, so the per-control-step gate is one test).
+        self._trace = sim.obs.trace
         # Graceful-degradation bookkeeping (supplier-loss detection).
         self.supervisor = None
         self.degraded_estimates = 0
@@ -220,6 +223,21 @@ class Board:
     def current_tier(self) -> int:
         """Worst active fallback tier across this board's estimates."""
         return max(self._estimate_tier.values(), default=1)
+
+    def _note_actuation(self, now: float) -> None:
+        """Causal tracing: this control step just drove actuators.
+
+        Attributes every value ingested since the previous step to the
+        decision (one ``actuate`` span per pending trace, carrying the
+        sensing→actuation data age, the board's fallback tier and the
+        supervisor's conservative latch).  Never draws randomness or
+        schedules anything.
+        """
+        if self._trace.enabled:
+            conservative = (self.supervisor is not None
+                            and self.supervisor.conservative_mode)
+            self._trace.actuate(self.device_id, now, self.current_tier,
+                                1 if conservative else 0)
 
     def room_dew_point(self, subspace: int,
                        default_temp: float = 28.9,
@@ -371,6 +389,7 @@ class ControlC2(Board):
                                   command.mix_temp_target_c)
             self.sim.trace.record(f"radiant/flow_target/{p}", now,
                                   command.mix_flow_target_lps)
+        self._note_actuation(now)
 
     def report(self, now: float) -> None:
         for p in range(len(self.flow_sensors)):
@@ -436,6 +455,7 @@ class ControlV1(Board):
                 command.coil_pump_voltage)
             self.sim.trace.record(f"vent/supply_dew_target/{i}", now,
                                   command.supply_dew_target_c)
+        self._note_actuation(now)
 
     def report(self, now: float) -> None:
         for i, controller in enumerate(self.controllers):
@@ -505,6 +525,7 @@ class ControlV2(Board):
         self.mote.broadcast(DataType.FAN_CMD, command.fan_speed_step, key=i)
         self.sim.trace.record(f"vent/fan_step/{i}", now,
                               command.fan_speed_step)
+        self._note_actuation(now)
 
     def report(self, now: float) -> None:
         if self._last_outlet_dew is None:
@@ -536,6 +557,11 @@ class ControlV3(Board):
             return
         step = packet.payload.get("value", 0)
         self.plant.vent_units[self.subspace].flap.command(step > 0)
+        # Packet-driven actuation: the flap steps on this very frame,
+        # so the trace's actuate span comes straight from its context.
+        if packet.trace_ctx is not None:
+            self._trace.actuate_packet(packet.trace_ctx, self.device_id,
+                                       self.sim.now, self.current_tier, 0)
 
     def report(self, now: float) -> None:
         self.mote.broadcast(DataType.CO2, self.co2_sensor.read(),

@@ -42,6 +42,9 @@ class Mote:
         self.mac = CsmaMac(sim, medium, device_id,
                            on_transmit=self._on_transmit)
         self.bus = TypeBus(sim, medium, device_id)
+        # Causal tracing: every broadcast is one sensing epoch, and
+        # this mote is where its trace begins.
+        self._trace = sim.obs.trace
 
     def _on_transmit(self, packet: Packet) -> None:
         if self.power is PowerSource.BATTERY:
@@ -60,6 +63,9 @@ class Mote:
         packet = Packet(data_type=data_type, source=self.device_id,
                         created_at=self.sim.now, payload=payload,
                         payload_bytes=payload_bytes)
+        if self._trace.enabled:
+            packet.trace_ctx = self._trace.begin(
+                self.device_id, data_type, key, self.sim.now)
         return self.mac.send(packet)
 
     def subscribe(self, data_type: DataType, handler=None) -> None:

@@ -42,6 +42,9 @@ class TypeBus:
         # Registering the bus itself lets the medium inline the type
         # filter and skip a Python call per uninterested receiver.
         self._medium = medium
+        # Causal-trace collector; only consulted for frames carrying a
+        # trace_ctx, so untraced delivery pays one attribute test.
+        self._trace = sim.obs.trace
         medium.attach_receiver(device_id, self._on_receive, bus=self)
 
     # ------------------------------------------------------------------
@@ -78,6 +81,9 @@ class TypeBus:
         payload = packet.payload
         data_type = packet.data_type
         cache_key = (data_type, payload.get("key"))
+        if packet.trace_ctx is not None:
+            self._trace.ingest(packet.trace_ctx, self.device_id,
+                               cache_key, now)
         entry = self._cache.get(cache_key)
         if entry is None:
             self._cache[cache_key] = CachedValue(

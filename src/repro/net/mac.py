@@ -130,6 +130,10 @@ class CsmaMac:
                                          np.random.PCG64))
         self._chunk_buf: List[int] = []
         self._chunk_idx = 0
+        # Causal-trace collector, cached like the medium caches its obs
+        # context.  Hooks only fire for packets carrying a trace_ctx,
+        # so an untraced run pays one attribute test per frame.
+        self._trace = sim.obs.trace
         # Event names are rebuilt on every schedule otherwise — three
         # f-strings per frame on the hot path.
         self._cca_name = f"cca/{device_id}"
@@ -145,9 +149,15 @@ class CsmaMac:
         """
         if len(self._queue) >= self.queue_limit:
             self.stats.dropped += 1
+            if packet.trace_ctx is not None:
+                self._trace.mac_drop(packet.trace_ctx, self.device_id,
+                                     self.sim.now)
             return False
         self.stats.enqueued += 1
         self._queue.append((packet, self.sim.now))
+        if packet.trace_ctx is not None:
+            self._trace.mac_enqueue(packet.trace_ctx, packet.packet_id,
+                                    self.device_id, self.sim.now)
         depth = len(self._queue)
         if depth > self.stats.max_queue_depth:
             self.stats.max_queue_depth = depth
@@ -211,39 +221,58 @@ class CsmaMac:
             self.stats.backoffs += 1
         # Direct fire-and-forget push: the delay is provably >= 0 (slot
         # count times a positive constant), so ``post_in``'s validation
-        # is dead weight on this several-times-per-frame path.
+        # is dead weight on this several-times-per-frame path.  The
+        # attempt's start time rides along in the partial — the trace
+        # hook fires once per CCA verdict, never at attempt start.
         sim = self.sim
         sim.queue.push_fire(
             sim.clock.now + delay, PRIORITY_NETWORK,
-            partial(self._cca, packet, enqueue_time, attempt, be),
+            partial(self._cca, packet, enqueue_time, attempt, be,
+                    sim.clock.now),
             self._cca_name)
 
     def _cca(self, packet: Packet, enqueue_time: float,
-             attempt: int, be: int) -> None:
+             attempt: int, be: int, attempt_start: float) -> None:
         if self.medium.is_busy():
             self.stats.cca_failures += 1
             if attempt + 1 >= self.max_backoffs:
                 # Channel access failure: drop the frame.
                 self.stats.dropped += 1
+                if packet.trace_ctx is not None:
+                    self._trace.mac_cca(packet.packet_id, self.device_id,
+                                        attempt_start, self.sim.clock.now,
+                                        attempt, True, True)
                 self._queue.popleft()
                 self._start_next()
                 return
+            if packet.trace_ctx is not None:
+                self._trace.mac_cca(packet.packet_id, self.device_id,
+                                    attempt_start, self.sim.clock.now,
+                                    attempt, True, False)
             self._attempt(packet, enqueue_time, attempt + 1,
                           min(be + 1, MAX_BE))
             return
         # Channel clear: transmit after the radio turnaround.  Another
         # device whose CCA also passes inside this window will overlap
         # us on the air — the collision mechanism of real CSMA/CA.
+        if packet.trace_ctx is not None:
+            self._trace.mac_cca(packet.packet_id, self.device_id,
+                                attempt_start, self.sim.clock.now,
+                                attempt, False, False)
         self._queue.popleft()
         sim = self.sim
         sim.queue.push_fire(
             sim.clock.now + TURNAROUND_S, PRIORITY_NETWORK,
-            partial(self._transmit, packet, enqueue_time),
+            partial(self._transmit, packet, enqueue_time, attempt),
             self._tx_name)
 
-    def _transmit(self, packet: Packet, enqueue_time: float) -> None:
+    def _transmit(self, packet: Packet, enqueue_time: float,
+                  attempt: int) -> None:
         self.stats.sent += 1
         self.stats.total_access_delay_s += self.sim.now - enqueue_time
+        if packet.trace_ctx is not None:
+            self._trace.mac_sent(packet.packet_id, self.device_id,
+                                 self.sim.clock.now, attempt)
         self.medium.transmit(packet, self.device_id)
         if self.on_transmit is not None:
             self.on_transmit(packet)

@@ -338,6 +338,12 @@ class BroadcastMedium:
                         if not lost_flags[i]:
                             reached += 1
                             bus.packets_filtered += 1
+        if tx.packet.trace_ctx is not None:
+            # One hook covers the whole airtime: tx carries its start,
+            # and collided/reached are only known here anyway.
+            self._obs.trace.air(tx.packet.trace_ctx, tx.sender,
+                                tx.start, self.sim.clock.now,
+                                1 if tx.collided else 0, reached)
         if self._sniffers:
             record = SnifferRecord(
                 packet=tx.packet, sender=tx.sender, start=tx.start,

@@ -56,6 +56,8 @@ class MultihopMedium:
         self.total_transmissions = 0
         self.total_receptions = 0
         self.collision_losses = 0
+        # Causal tracing: every hop's airtime becomes an ``air`` span.
+        self._trace = sim.obs.trace
 
     # ------------------------------------------------------------------
     def attach_receiver(self, node_id: str,
@@ -102,6 +104,7 @@ class MultihopMedium:
     def _complete(self, tx: HopTransmission) -> None:
         self._active.remove(tx)
         rng = self.sim.rng.stream("multihop/loss")
+        reached = 0
         for node_id in self.topology.neighbors(tx.sender):
             handler = self._receivers.get(node_id)
             if handler is None:
@@ -112,7 +115,12 @@ class MultihopMedium:
             if rng.uniform() < self.loss_probability:
                 continue
             self.total_receptions += 1
+            reached += 1
             handler(tx.packet, tx.sender)
+        if tx.packet.trace_ctx is not None:
+            self._trace.air(tx.packet.trace_ctx, tx.sender, tx.start,
+                            self.sim.now,
+                            1 if tx.jammed_at else 0, reached)
 
 
 class NodeChannelView:
@@ -160,6 +168,7 @@ class _RouterBase:
         self.subscriptions: Set[DataType] = set()
         self._seen: Set[int] = set()
         self.mac = CsmaMac(sim, NodeChannelView(medium, node_id), node_id)
+        self._trace = sim.obs.trace
         medium.attach_receiver(node_id, self._receive)
 
     def subscribe(self, data_type: DataType) -> None:
@@ -167,6 +176,10 @@ class _RouterBase:
 
     def originate(self, packet: Packet) -> None:
         """Inject a locally-generated frame into the network."""
+        if packet.trace_ctx is None and self._trace.enabled:
+            packet.trace_ctx = self._trace.begin(
+                self.node_id, packet.data_type,
+                packet.payload.get("key"), self.sim.now)
         self._seen.add(packet.packet_id)
         self.stats.originated += 1
         if packet.data_type in self.subscriptions:
@@ -187,6 +200,11 @@ class _RouterBase:
 
     def _deliver(self, packet: Packet) -> None:
         self.stats.delivered += 1
+        if packet.trace_ctx is not None:
+            self._trace.ingest(
+                packet.trace_ctx, self.node_id,
+                (packet.data_type, packet.payload.get("key")),
+                self.sim.now)
         if self.on_deliver is not None:
             self.on_deliver(packet, self.node_id)
 

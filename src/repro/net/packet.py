@@ -11,7 +11,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 # 802.15.4 PHY at 250 kbps: 4-byte preamble + 1 SFD + 1 PHY length, plus
 # a typical 11-byte MAC header/footer.
@@ -66,6 +66,15 @@ class Packet:
     payload: Dict[str, Any] = field(default_factory=dict)
     payload_bytes: int = 8
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    # Causal-trace context: (trace_id, root_span_id, root_state) when
+    # the frame belongs to a traced sensing epoch, None otherwise.  Set
+    # once at origination and read by the MAC/medium/bus hooks — the
+    # explicit propagation field of repro.obs.trace.  The third element
+    # is the collector's mutable root record, carried here so hot-path
+    # hooks never pay a trace-id lookup.  Excluded from equality:
+    # tracing must not change how packets compare.
+    trace_ctx: Optional[tuple] = field(default=None, repr=False,
+                                       compare=False)
     _airtime_s: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:

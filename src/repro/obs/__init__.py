@@ -26,39 +26,61 @@ from typing import Optional
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import SimTimeProfiler
+from repro.obs.trace import NULL_TRACE, TRACE_SAMPLE_EVERY, TraceCollector
 
 
 class Observability:
-    """One run's observability context: registry + event log + profiler.
+    """One run's observability context: registry + events + profiler +
+    causal traces.
 
     ``enabled`` gates the inline instrumentation sites (fault hooks,
     tier transitions, conservative-mode latch, collision bursts);
     ``profiler`` is None unless dispatch profiling was requested, so
-    the simulator's hot loop stays untouched when it is off.
+    the simulator's hot loop stays untouched when it is off; ``trace``
+    is the shared disabled collector unless causal tracing was
+    requested, so untraced packets carry no context and the network
+    hot paths reduce to one attribute test.
     """
 
-    __slots__ = ("enabled", "metrics", "events", "profiler")
+    __slots__ = ("enabled", "metrics", "events", "profiler", "trace")
 
     def __init__(self, enabled: bool, metrics: MetricsRegistry,
                  events: EventLog,
-                 profiler: Optional[SimTimeProfiler] = None) -> None:
+                 profiler: Optional[SimTimeProfiler] = None,
+                 trace: Optional[TraceCollector] = None) -> None:
         self.enabled = enabled
         self.metrics = metrics
         self.events = events
         self.profiler = profiler
+        self.trace = NULL_TRACE if trace is None else trace
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"
         prof = ", profiled" if self.profiler is not None else ""
-        return f"Observability({state}{prof})"
+        traced = ", traced" if self.trace.enabled else ""
+        return f"Observability({state}{prof}{traced})"
 
 
 def create_observability(profile: bool = True,
-                         profile_stride: int = 16) -> Observability:
-    """A fresh enabled context (one per run; contexts are not shared)."""
+                         profile_stride: int = 16,
+                         trace: bool = False,
+                         trace_sample: Optional[int] = None
+                         ) -> Observability:
+    """A fresh enabled context (one per run; contexts are not shared).
+
+    ``trace=True`` attaches a causal-trace collector at the shipped
+    head-sampling stride (:data:`TRACE_SAMPLE_EVERY`); pass
+    ``trace_sample`` to override it — 1 traces every sensing epoch.
+    """
     profiler = SimTimeProfiler(stride=profile_stride) if profile else None
+    collector = None
+    if trace:
+        collector = TraceCollector(
+            enabled=True,
+            sample_every=(TRACE_SAMPLE_EVERY if trace_sample is None
+                          else trace_sample))
     return Observability(True, MetricsRegistry(enabled=True),
-                         EventLog(enabled=True), profiler)
+                         EventLog(enabled=True), profiler, collector)
 
 
 #: Shared disabled context — the default of every ``Simulator``.  All
@@ -71,8 +93,10 @@ NULL_OBS = Observability(False, MetricsRegistry(enabled=False),
 __all__ = [
     "Observability",
     "NULL_OBS",
+    "NULL_TRACE",
     "create_observability",
     "EventLog",
     "MetricsRegistry",
     "SimTimeProfiler",
+    "TraceCollector",
 ]

@@ -225,7 +225,7 @@ def obs_payload(system, obs) -> Optional[Dict[str, object]]:
     if system.medium is not None:
         system.medium.flush_collision_burst()
     collect_system_metrics(system, obs.metrics)
-    return {
+    payload = {
         "events": list(obs.events.records),
         "dropped_events": obs.events.dropped,
         "metrics": obs.metrics.snapshot(),
@@ -233,3 +233,6 @@ def obs_payload(system, obs) -> Optional[Dict[str, object]]:
         "profile": (obs.profiler.report()
                     if obs.profiler is not None else None),
     }
+    if obs.trace.enabled:
+        payload["trace"] = obs.trace.flush(system.sim.now)
+    return payload

@@ -48,9 +48,16 @@ MAX_RECORDS = 200_000
 
 
 class EventLog:
-    """Append-only in-memory log of event records."""
+    """Append-only in-memory log of event records.
 
-    __slots__ = ("enabled", "records", "dropped", "max_records")
+    Per-kind running indexes are maintained on emit, so
+    :meth:`of_kind` and :meth:`counts_by_kind` are O(result) instead
+    of rescanning the whole log — the sniffer's replay queries and the
+    SLO scorer call them per window.
+    """
+
+    __slots__ = ("enabled", "records", "dropped", "max_records",
+                 "_by_kind", "_counts")
 
     def __init__(self, enabled: bool = True,
                  max_records: int = MAX_RECORDS) -> None:
@@ -58,6 +65,8 @@ class EventLog:
         self.records: List[Dict[str, object]] = []
         self.dropped = 0
         self.max_records = max_records
+        self._by_kind: Dict[str, List[Dict[str, object]]] = {}
+        self._counts: Dict[str, int] = {}
 
     def emit(self, kind: str, t: Optional[float], **fields) -> None:
         """Record one event; a no-op on a disabled log."""
@@ -69,19 +78,17 @@ class EventLog:
         record: Dict[str, object] = {"kind": kind, "t": t}
         record.update(fields)
         self.records.append(record)
+        self._by_kind.setdefault(kind, []).append(record)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
 
     def __len__(self) -> int:
         return len(self.records)
 
     def of_kind(self, kind: str) -> List[Dict[str, object]]:
-        return [r for r in self.records if r["kind"] == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def counts_by_kind(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for record in self.records:
-            kind = str(record["kind"])
-            counts[kind] = counts.get(kind, 0) + 1
-        return dict(sorted(counts.items()))
+        return dict(sorted(self._counts.items()))
 
 
 def to_jsonl(records: Iterable[Dict[str, object]]) -> str:

@@ -16,6 +16,12 @@ A telemetry directory is five files:
 ``profile.json``
     Per-run sim-time profiler reports (null when profiling was off).
 
+A sixth file, ``trace.jsonl``, appears when causal tracing
+(:mod:`repro.obs.trace`) was enabled: per-run ``trace.summary``
+roll-up records first, then every span grouped by run in spec order
+and sorted ``(trace, span)`` within a run — byte-identical for any
+worker count, like everything else here.
+
 ``render_status`` turns a loaded directory back into the health tables
 shown by ``repro status``; ``validate_telemetry`` checks the whole
 directory against the event schema and manifest contract, which is
@@ -31,6 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.analysis.reporting import render_table
 from repro.obs import events as ev
 from repro.obs import schema
+from repro.obs import trace as tr
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
 
 TELEMETRY_FILES = ("manifest.json", "events.jsonl", "metrics.json",
@@ -74,6 +81,8 @@ def write_run_telemetry(directory: str,
     metrics: Dict[str, object] = {}
     health: Dict[str, object] = {}
     profile: Dict[str, object] = {}
+    trace_summaries: List[Dict[str, object]] = []
+    trace_spans: List[Dict[str, object]] = []
     dropped = 0
     for label in labels:
         payload = payloads.get(label)
@@ -84,6 +93,11 @@ def write_run_telemetry(directory: str,
         metrics[label] = payload["metrics"]
         health[label] = payload["health"]
         profile[label] = payload.get("profile")
+        trace_payload = payload.get("trace")
+        if trace_payload is not None:
+            trace_summaries.append(
+                tr.summary_record(trace_payload["summary"], run=label))
+            trace_spans.extend(_tagged(trace_payload["spans"], label))
     if pool_events is not None:
         records.extend(ev.sort_worker_records(pool_events))
 
@@ -100,6 +114,12 @@ def write_run_telemetry(directory: str,
                           ("profile.json", profile)):
         path = os.path.join(directory, name)
         _dump_json(path, payload)
+        paths.append(path)
+    if trace_summaries or trace_spans:
+        path = os.path.join(directory, "trace.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(ev.to_jsonl(trace_summaries))
+            handle.write(ev.to_jsonl(trace_spans))
         paths.append(path)
     if dropped:
         _dump_json(os.path.join(directory, "dropped.json"),
@@ -130,19 +150,21 @@ def load_telemetry(directory: str) -> Dict[str, object]:
         with open(path, "r", encoding="utf-8") as handle:
             return json.load(handle)
 
-    events_path = os.path.join(directory, "events.jsonl")
-    if os.path.exists(events_path):
-        with open(events_path, "r", encoding="utf-8") as handle:
-            events = ev.from_jsonl(handle.read())
-    else:
-        events = []
+    def _load_jsonl(name: str) -> List[Dict[str, object]]:
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            return []
+        with open(path, "r", encoding="utf-8") as handle:
+            return ev.from_jsonl(handle.read())
+
     return {
         "directory": directory,
         "manifest": _load("manifest.json", {}),
-        "events": events,
+        "events": _load_jsonl("events.jsonl"),
         "metrics": _load("metrics.json", {}),
         "health": _load("health.json", {}),
         "profile": _load("profile.json", {}),
+        "trace": _load_jsonl("trace.jsonl"),
     }
 
 
@@ -274,6 +296,49 @@ def render_status(telemetry: Dict[str, object]) -> str:
              "spec evict", "spec entries"],
             physics_rows))
 
+    trace_records = telemetry.get("trace") or []
+    if trace_records:
+        from repro.analysis.dataage import summarize_dataage
+        summaries = [r for r in trace_records
+                     if r.get("name") == tr.TRACE_SUMMARY]
+        spans = tr.span_records(trace_records)
+        by_run: Dict[str, List[Dict[str, object]]] = {}
+        for span in spans:
+            by_run.setdefault(str(span.get("run")), []).append(span)
+        rows = []
+        for summary in summaries:
+            run = str(summary.get("run"))
+            dataage = summarize_dataage(by_run.get(run, ()))
+            overall = (dataage["ages"] or {}).get("overall")
+            rows.append((
+                run,
+                int(summary.get("traces", 0)),
+                int(summary.get("spans", 0)),
+                int(summary.get("open_spans_at_shutdown", 0)),
+                int(summary.get("actuated", 0)),
+                int(summary.get("dropped", 0)),
+                _fmt(overall["p95_s"] if overall else None),
+            ))
+        if rows:
+            sections.append(render_table(
+                "Trace",
+                ["run", "traces", "spans", "open@end", "actuated",
+                 "dropped", "age p95 s"],
+                rows))
+        if len(by_run) == 1:
+            (run, run_spans), = by_run.items()
+            zones = summarize_dataage(run_spans)["ages"]["zones"]
+            zone_rows = [
+                (zone, int(stats["n"]), _fmt(stats["p50_s"]),
+                 _fmt(stats["p95_s"]), _fmt(stats["p99_s"]),
+                 _fmt(stats["max_s"]))
+                for zone, stats in zones.items()]
+            if zone_rows:
+                sections.append(render_table(
+                    f"Sensing→actuation data age by zone — {run}",
+                    ["zone", "n", "p50 s", "p95 s", "p99 s", "max s"],
+                    zone_rows))
+
     profile = telemetry.get("profile") or {}
     component_rows: Dict[str, List[float]] = {}
     for report in profile.values():
@@ -335,6 +400,13 @@ def validate_telemetry(directory: str) -> List[str]:
         with open(events_path, "r", encoding="utf-8") as handle:
             problems.extend(f"events.jsonl: {problem}"
                             for problem in schema.validate_jsonl(
+                                handle.read()))
+
+    trace_path = os.path.join(directory, "trace.jsonl")
+    if os.path.exists(trace_path):
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            problems.extend(f"trace.jsonl: {problem}"
+                            for problem in tr.validate_trace_jsonl(
                                 handle.read()))
 
     for name in ("metrics.json", "health.json", "profile.json"):

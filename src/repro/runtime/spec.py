@@ -57,6 +57,11 @@ class RunSpec:
     # back on RunResult.obs.  Off by default: telemetry is opt-in per
     # campaign/sweep/bench invocation (--telemetry).
     telemetry: bool = False
+    # Enable causal tracing (repro.obs.trace) on the run's
+    # observability context; implies an obs context even without
+    # ``telemetry``.  Off by default — spans are opt-in per
+    # invocation (--trace).
+    trace: bool = False
     # When non-empty, the spec is one lockstep *group*: the scenario is
     # replicated across these seeds and driven through a single
     # :class:`~repro.runtime.lockstep.LockstepBatch`, and execute_spec
@@ -74,6 +79,7 @@ class RunSpec:
                  warmup_minutes: Optional[float] = None,
                  inject: Optional[str] = None,
                  telemetry: bool = False,
+                 trace: bool = False,
                  lockstep_seeds: Tuple[int, ...] = ()) -> None:
         if scenario is None:
             if config is None:
@@ -98,6 +104,7 @@ class RunSpec:
         object.__setattr__(self, "scenario", scenario)
         object.__setattr__(self, "inject", inject)
         object.__setattr__(self, "telemetry", telemetry)
+        object.__setattr__(self, "trace", trace)
         object.__setattr__(self, "lockstep_seeds", tuple(lockstep_seeds))
 
     # Delegates kept for the wide pre-scenario call surface.
@@ -221,9 +228,9 @@ def execute_spec(spec: RunSpec, attempt: int = 0) -> RunResult:
     if spec.lockstep_seeds:
         return _execute_lockstep(spec)
     obs = None
-    if spec.telemetry:
+    if spec.telemetry or spec.trace:
         from repro.obs import create_observability
-        obs = create_observability()
+        obs = create_observability(trace=spec.trace)
     t0 = time.perf_counter()
     system, clearance = prepare_run(spec.scenario, obs=obs)
     system.start()
@@ -261,9 +268,9 @@ def _execute_lockstep(spec: RunSpec) -> "BatchRunResult":
     from repro.runtime.lockstep import LockstepBatch
 
     obs = None
-    if spec.telemetry:
+    if spec.telemetry or spec.trace:
         from repro.obs import create_observability
-        obs = create_observability()
+        obs = create_observability(trace=spec.trace)
     t0 = time.perf_counter()
     batch = LockstepBatch(spec.scenario, spec.lockstep_seeds, obs=obs)
     batch.run(minutes=spec.run_minutes)

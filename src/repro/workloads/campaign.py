@@ -237,7 +237,8 @@ class CampaignExecutionError(RuntimeError):
 
 
 def campaign_specs(config: CampaignConfig,
-                   telemetry: bool = False) -> List[RunSpec]:
+                   telemetry: bool = False,
+                   trace: bool = False) -> List[RunSpec]:
     """The campaign as an ordered spec list: baseline first, then one
     spec per cell, every spec fully independent and picklable.
 
@@ -252,7 +253,7 @@ def campaign_specs(config: CampaignConfig,
     specs = [RunSpec(label="baseline", config=base_config,
                      run_minutes=config.run_minutes,
                      warmup_minutes=config.warmup_minutes,
-                     telemetry=telemetry)]
+                     telemetry=telemetry, trace=trace)]
     for cell in config.cells:
         scenario = ScenarioSpec(
             name=cell.name, config=base_config,
@@ -261,7 +262,7 @@ def campaign_specs(config: CampaignConfig,
             run_minutes=config.run_minutes,
             warmup_minutes=config.warmup_minutes)
         specs.append(RunSpec(label=cell.name, scenario=scenario,
-                             telemetry=telemetry))
+                             telemetry=telemetry, trace=trace))
     return specs
 
 
@@ -319,7 +320,8 @@ def run_campaign(config: CampaignConfig,
                  progress: Optional[Callable[[str], None]] = None,
                  workers: int = 1,
                  timeout_s: Optional[float] = None,
-                 telemetry_dir: Optional[str] = None) -> CampaignResult:
+                 telemetry_dir: Optional[str] = None,
+                 trace: bool = False) -> CampaignResult:
     """Run baseline plus every cell; score each against the baseline.
 
     ``workers=1`` executes in-process; ``workers=N`` fans the
@@ -333,10 +335,12 @@ def run_campaign(config: CampaignConfig,
     health, dispatch profile) and writes the artifact directory
     described in :mod:`repro.obs.status` after the merge.  Telemetry
     never perturbs a run: scores and hashes are identical with it on
-    or off.
+    or off.  ``trace`` additionally enables causal tracing on every
+    run, adding ``trace.jsonl`` to the telemetry directory — equally
+    non-perturbing (the trace-on/off equivalence oracle covers it).
     """
     telemetry = telemetry_dir is not None
-    specs = campaign_specs(config, telemetry=telemetry)
+    specs = campaign_specs(config, telemetry=telemetry, trace=trace)
 
     def describe(event: ProgressEvent) -> None:
         if progress is None or event.kind != STARTED or event.attempt:

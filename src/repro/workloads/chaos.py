@@ -325,6 +325,10 @@ class ChaosConfig:
     warmup_minutes: float = 30.0
     hazard: HazardConfig = field(default_factory=HazardConfig)
     budgets: SloBudgets = field(default_factory=SloBudgets)
+    # Enable causal tracing per run; the SLO scorer then folds p95
+    # sensing→actuation data age (per window and per run) and the
+    # fault-active age delta into its rows.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         self.seeds = tuple(self.seeds)
@@ -490,7 +494,7 @@ def chaos_specs(config: ChaosConfig) -> List["RunSpec"]:  # noqa: F821
             run_minutes=config.hours * 60.0,
             warmup_minutes=config.warmup_minutes)
         specs.append(RunSpec(label=label, scenario=scenario,
-                             telemetry=True))
+                             telemetry=True, trace=config.trace))
     return specs
 
 
@@ -517,11 +521,17 @@ def merge_chaos(config: ChaosConfig,
             raise ValueError(f"run {label!r} returned no telemetry; "
                              "chaos specs must set telemetry=True")
         events = list(payload.obs["events"])
+        trace_payload = payload.obs.get("trace")
+        ages = None
+        if trace_payload is not None:
+            from repro.analysis.dataage import actuation_ages
+            ages = actuation_ages(trace_payload["spans"])
         report = score_run(
             events, label, t0=t0, horizon_s=config.horizon_s,
             window_s=config.window_minutes * 60.0,
             budgets=config.budgets,
-            warmup_s=config.warmup_minutes * 60.0)
+            warmup_s=config.warmup_minutes * 60.0,
+            ages=ages)
         faults_scheduled = sum(
             1 for record in events
             if record.get("kind") == "fault.injected")
@@ -552,6 +562,7 @@ def chaos_manifest(config: ChaosConfig) -> Dict[str, object]:
             "warmup_minutes": config.warmup_minutes,
             "budgets": config.budgets.as_dict(),
             "hazard": config.hazard.as_dict(),
+            "trace": config.trace,
         },
         seed=config.seeds[0],
         extra={"runs": [label for _, _, label in config.run_labels()]})

@@ -110,7 +110,8 @@ class SweepResult:
 
 
 def sweep_specs(config: SweepConfig,
-                telemetry: bool = False) -> List[RunSpec]:
+                telemetry: bool = False,
+                trace: bool = False) -> List[RunSpec]:
     """One spec per seed — or per lockstep group — in seed order.
 
     Every replicate is the registry's ``sweep-default`` scenario with
@@ -137,7 +138,7 @@ def sweep_specs(config: SweepConfig,
         return [
             RunSpec(label=f"seed-{seed}",
                     scenario=scenario_for(seed, f"seed-{seed}"),
-                    telemetry=telemetry)
+                    telemetry=telemetry, trace=trace)
             for seed in config.seeds
         ]
     size = config.lockstep_batch
@@ -148,13 +149,13 @@ def sweep_specs(config: SweepConfig,
             specs.append(RunSpec(
                 label=f"seed-{group[0]}",
                 scenario=scenario_for(group[0], f"seed-{group[0]}"),
-                telemetry=telemetry))
+                telemetry=telemetry, trace=trace))
             continue
         label = f"seeds-{group[0]}-{group[-1]}"
         specs.append(RunSpec(
             label=label,
             scenario=scenario_for(group[0], label),
-            telemetry=telemetry,
+            telemetry=telemetry, trace=trace,
             lockstep_seeds=tuple(group)))
     return specs
 
@@ -236,18 +237,21 @@ def run_sweep(config: SweepConfig,
               workers: int = 1,
               timeout_s: Optional[float] = None,
               progress=None,
-              telemetry_dir: Optional[str] = None) -> SweepResult:
+              telemetry_dir: Optional[str] = None,
+              trace: bool = False) -> SweepResult:
     """Execute the sweep; see :func:`repro.runtime.pool.run_specs` for
     the worker/timeout/retry semantics.
 
     ``telemetry_dir`` enables per-replicate observability and writes
     the artifact directory described in :mod:`repro.obs.status`;
     metrics and hashes are identical with telemetry on or off.
+    ``trace`` additionally enables causal tracing per replicate
+    (master lane only for lockstep groups), adding ``trace.jsonl``.
     """
     from repro.runtime.pool import run_specs
 
     telemetry = telemetry_dir is not None
-    specs = sweep_specs(config, telemetry=telemetry)
+    specs = sweep_specs(config, telemetry=telemetry, trace=trace)
     pool_events = EventLog(enabled=True) if telemetry else None
     payloads = run_specs(specs, workers=workers,
                          timeout_s=timeout_s, progress=progress,

@@ -1,4 +1,5 @@
-"""Regenerate the golden fingerprints and the chaos SLO report.
+"""Regenerate the golden fingerprints, the chaos SLO report, and the
+paper-va trace-summary seed.
 
 Run from the repository root after an *intentional* behaviour change:
 
@@ -17,6 +18,7 @@ definitions that the tests replay.
 
 import json
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
@@ -58,6 +60,26 @@ def main() -> int:
         handle.write("\n")
     print(f"  wrote {path} ({report['totals']['windows']} windows, "
           f"{report['totals']['faults']} faults)")
+
+    # The trace-summary golden is the seed side of the `repro trace
+    # --diff` regression gate.  It is produced through the CLI with the
+    # exact command the trace-smoke CI job runs, so the committed seed
+    # and the candidate it is diffed against share one code path.
+    from repro.cli import main as cli_main  # noqa: E402
+
+    print("regenerating paper-va trace summary (CLI, 45 min)...",
+          flush=True)
+    path = GOLDEN_DIR / "trace_summary_paper_va.json"
+    with tempfile.TemporaryDirectory() as tmp:
+        rc = cli_main(["run", "--scenario", "paper-va", "--minutes", "45",
+                       "--telemetry", tmp, "--trace"])
+        if rc:
+            return rc
+        rc = cli_main(["trace", "--telemetry", tmp,
+                       "--save-summary", str(path)])
+        if rc:
+            return rc
+    print(f"  wrote {path}")
     return 0
 
 

@@ -150,6 +150,32 @@ class TestEventLog:
         assert len(log) == 2
         assert log.dropped == 3
 
+    def test_kind_indexes_match_brute_force_scan(self):
+        # The O(1) per-kind indexes must agree with a full scan of
+        # ``records`` at every point, including past the drop cap
+        # (dropped emissions never reach either view).
+        log = EventLog(enabled=True, max_records=6)
+        kinds = [FAULT_INJECTED, FAULT_CLEARED, CONSERVATIVE_LATCHED]
+        for i in range(10):
+            log.emit(kinds[i % len(kinds)], float(i), device=f"bt-{i}")
+            brute_counts = {}
+            for record in log.records:
+                kind = record["kind"]
+                brute_counts[kind] = brute_counts.get(kind, 0) + 1
+            assert log.counts_by_kind() == dict(
+                sorted(brute_counts.items()))
+            for kind in kinds:
+                assert log.of_kind(kind) == [
+                    r for r in log.records if r["kind"] == kind]
+        assert log.dropped == 4
+
+    def test_of_kind_returns_a_copy(self):
+        log = EventLog(enabled=True)
+        log.emit(FAULT_INJECTED, 1.0, fault="stuck", device="bt-0")
+        view = log.of_kind(FAULT_INJECTED)
+        view.clear()
+        assert len(log.of_kind(FAULT_INJECTED)) == 1
+
     def test_jsonl_roundtrip(self):
         log = EventLog()
         log.emit(TIER_TRANSITION, 5.0, board="c2", estimate="temperature/room",
