@@ -60,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--paper-events", action="store_true",
                      help="schedule the paper's 14:05/14:25 door events "
                           "(alias for --script paper-phase-two)")
+    run.add_argument("--controller", metavar="NAME", default=None,
+                     help="control stack to run (see `repro controllers`; "
+                          "default: the scenario's, or pid)")
     run.add_argument("--export-csv", metavar="PATH")
     run.add_argument("--export-json", metavar="PATH")
     run.add_argument("--telemetry", metavar="DIR", default=None,
@@ -80,6 +83,44 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list the registered experiment scenarios")
     scenarios.add_argument("--show", metavar="NAME", default=None,
                            help="describe one scenario in full")
+
+    sub.add_parser(
+        "controllers",
+        help="list the registered control stacks (ControlPolicy registry)")
+
+    bakeoff = sub.add_parser(
+        "bakeoff",
+        help="head-to-head controller comparison: fan controller x "
+             "scenario x seed through the pool and score comfort/"
+             "energy/dew/network/SLO (see repro.workloads.bakeoff)")
+    bakeoff.add_argument("--controllers", default="pid,consensus,deadband",
+                         help="comma-separated control stacks to compare "
+                              "(default: pid,consensus,deadband)")
+    bakeoff.add_argument("--scenarios", default="paper-vc",
+                         help="comma-separated base scenario cells; every "
+                              "controller runs each cell (default: "
+                              "paper-vc)")
+    bakeoff.add_argument("--seeds", type=int, default=2,
+                         help="number of replicate seeds per cell "
+                              "(default: 2)")
+    bakeoff.add_argument("--seed-base", type=int, default=7,
+                         help="first seed of the range (default: 7)")
+    bakeoff.add_argument("--minutes", type=float, default=30.0,
+                         help="run length per cell (default: 30)")
+    bakeoff.add_argument("--warmup-minutes", type=float, default=5.0,
+                         help="cold-start transient excluded from scoring "
+                              "(default: 5)")
+    bakeoff.add_argument("--window-minutes", type=float, default=10.0,
+                         help="rolling SLO window length (default: 10)")
+    bakeoff.add_argument("--workers", type=int, default=None,
+                         help="process-pool width (default: cpu count, "
+                              "capped at the number of runs)")
+    bakeoff.add_argument("--timeout-s", type=float, default=None,
+                         help="per-run wall-clock timeout (workers > 1)")
+    bakeoff.add_argument("--report", metavar="PATH",
+                         help="write the rendered report here")
+    bakeoff.add_argument("--json", metavar="PATH", dest="json_path",
+                         help="write the machine-readable report here")
 
     cop = sub.add_parser("cop", help="steady-state COP report (Fig. 11)")
     cop.add_argument("--seed", type=int, default=7)
@@ -133,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--cells", metavar="NAMES",
                           help="run exactly these comma-separated cell "
                                "names, in the given order")
+    campaign.add_argument("--controller", metavar="NAME", default="pid",
+                          help="control stack for baseline and cells "
+                               "(see `repro controllers`; default: pid)")
     campaign.add_argument("--workers", type=int, default=None,
                           help="process-pool width (default: cpu count, "
                                "capped at the number of runs)")
@@ -170,6 +214,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wired control loop (no radio)")
     sweep.add_argument("--fixed-tx", action="store_true",
                        help="Fixed transmission scheme instead of BT-ADPT")
+    sweep.add_argument("--controller", metavar="NAME", default="pid",
+                       help="control stack for every replicate (see "
+                            "`repro controllers`; default: pid)")
     sweep.add_argument("--lockstep-batch", type=int, default=None,
                        metavar="R",
                        help="shard seeds into lockstep groups of R "
@@ -317,6 +364,8 @@ def _run_scenario_spec(args: argparse.Namespace) -> ScenarioSpec:
         overrides["weather"] = args.weather
     if args.minutes is not None:
         overrides["run_minutes"] = args.minutes
+    if args.controller is not None:
+        overrides["controller"] = args.controller
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     return spec
@@ -377,10 +426,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             command="run",
             config_dict={"scenario": spec.name,
                          "run_minutes": spec.run_minutes,
+                         "controller": spec.controller,
                          "trace": args.trace,
                          "trace_sample": obs.trace.sample_every
                          if args.trace else None},
-            seed=spec.config.seed)
+            seed=spec.config.seed,
+            extra={"controller": spec.controller})
         write_system_telemetry(args.telemetry, manifest, spec.name,
                                obs_payload(system, obs))
         print(f"wrote telemetry to {args.telemetry}")
@@ -403,6 +454,74 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         return 0
     for name in scenario_names():
         print(f"{name:36} {get_scenario(name).description}")
+    return 0
+
+
+def cmd_controllers(args: argparse.Namespace) -> int:
+    from repro.control.policy import controller_names, describe_controller
+
+    for name in controller_names():
+        print(describe_controller(name))
+    return 0
+
+
+def cmd_bakeoff(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.runtime.pool import default_worker_count
+    from repro.workloads.bakeoff import (
+        BakeoffConfig,
+        bakeoff_specs,
+        run_bakeoff,
+    )
+
+    controllers = tuple(name.strip()
+                        for name in args.controllers.split(",")
+                        if name.strip())
+    scenarios = tuple(name.strip() for name in args.scenarios.split(",")
+                      if name.strip())
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    try:
+        config = BakeoffConfig(controllers=controllers,
+                               scenarios=scenarios, seeds=seeds,
+                               minutes=args.minutes,
+                               warmup_minutes=args.warmup_minutes,
+                               window_minutes=args.window_minutes)
+        # Resolve every cell up front so a scenario typo fails before
+        # any run starts.
+        specs = bakeoff_specs(config)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    workers = (default_worker_count(len(specs)) if args.workers is None
+               else args.workers)
+    print(f"{len(specs)} run(s): {len(controllers)} controller(s) x "
+          f"{len(scenarios)} cell(s) x {len(seeds)} seed(s), "
+          f"{workers} worker(s)")
+    result = run_bakeoff(config,
+                         progress=lambda m: print(f"  {m}", flush=True),
+                         workers=workers, timeout_s=args.timeout_s)
+    report = result.render()
+    print()
+    print(report)
+    if args.report:
+        out = Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
+        print(f"wrote report to {args.report}")
+    if args.json_path:
+        out = Path(args.json_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", encoding="utf-8") as handle:
+            json.dump(result.report_dict(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote JSON to {args.json_path}")
+    if result.failures:
+        names = ", ".join(f.label for f in result.failures)
+        print(f"runs that failed to execute: {names}")
+        return 1
     return 0
 
 
@@ -492,6 +611,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         overrides["run_minutes"] = args.minutes
     if args.warmup_minutes is not None:
         overrides["warmup_minutes"] = args.warmup_minutes
+    if args.controller != "pid":
+        overrides["controller"] = args.controller
     if overrides:
         # replace() re-runs CampaignConfig validation, so a warmup that
         # no longer fits the shortened run fails here, not mid-campaign.
@@ -571,6 +692,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                              script=("paper-phase-two" if args.paper_events
                                      else "none"),
                              direct=args.direct, fixed_tx=args.fixed_tx,
+                             controller=args.controller,
                              lockstep_batch=args.lockstep_batch)
     except ValueError as exc:
         print(exc, file=sys.stderr)
@@ -833,6 +955,7 @@ def cmd_status(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"run": cmd_run, "scenarios": cmd_scenarios,
+                "controllers": cmd_controllers, "bakeoff": cmd_bakeoff,
                 "cop": cmd_cop, "lifetime": cmd_lifetime,
                 "bench": cmd_bench, "campaign": cmd_campaign,
                 "sweep": cmd_sweep, "chaos": cmd_chaos,

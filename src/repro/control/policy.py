@@ -1,0 +1,221 @@
+"""Pluggable control stacks: the ``ControllerSpec``/``ControlPolicy`` seam.
+
+The boards in :mod:`repro.devices.boards` own everything *around* the
+decision law — sensing, the three-tier estimate fallback ladder,
+conservative-mode supervision and actuator plumbing — while the law
+itself is injected through a :class:`ControlPolicy`.  A policy is a
+small factory pair: :meth:`ControlPolicy.radiant_law` builds the
+per-panel law a Control-C-2 board (or the wired direct loop) steps, and
+:meth:`ControlPolicy.ventilation_law` builds the per-subspace law the
+V-1/V-2 boards step.
+
+Laws are duck-typed against the paper's reference controllers:
+
+* a radiant law exposes ``step(RadiantInputs, dt) -> RadiantCommand``,
+  ``set_preferred_temp``, ``preferred_temp_c`` and the supervisor's
+  ``conservative_extra_margin_k`` latch attribute;
+* a ventilation law exposes ``step(VentilationInputs, dt) ->
+  VentilationCommand``, ``set_preferences``, ``co2_target_ppm`` and
+  ``preferred_dew_point()``.
+
+Policies are registered by name in a process-wide registry — the same
+pattern as scenario scripts and weather builders — so a
+:class:`~repro.scenarios.spec.ScenarioSpec` can carry ``controller`` as
+a picklable string axis.  The reference ``pid`` policy reconstructs the
+paper's controllers argument-for-argument, so selecting it moves zero
+bits relative to the pre-seam code path.
+
+Policies whose laws cooperate across zones (``exchanges_state`` true)
+additionally expose, on their ventilation laws, ``shared_state()`` /
+``set_neighbor_states()`` and, on their radiant laws,
+``set_zone_estimates()``; the boards move that state over the 802.15.4
+channel as :data:`~repro.net.packet.DataType.CONSENSUS` frames, so
+decentralized coordination pays its real network cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.control.radiant import RadiantCoolingController
+from repro.control.ventilation import VentilationController
+from repro.hydronics.pump import PumpCurve
+from repro.scenarios.topology import SystemTopology
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Frozen, picklable description of one pluggable control stack.
+
+    ``params`` is a tuple of (name, value) pairs — hashable, ordered,
+    and rendered verbatim by :meth:`describe` — holding the tuning
+    constants the policy was registered with.  ``exchanges_state``
+    marks policies whose laws trade state across zones, which the
+    boards translate into real CONSENSUS frames on the channel.
+    """
+
+    name: str
+    description: str
+    exchanges_state: bool = False
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params",
+                           tuple((str(k), v) for k, v in self.params))
+        if not self.name:
+            raise ValueError("a controller spec needs a name")
+
+    def describe(self) -> str:
+        lines = [f"controller {self.name}: {self.description}",
+                 f"  exchanges state over WSN: "
+                 f"{'yes' if self.exchanges_state else 'no'}"]
+        if self.params:
+            lines.append("  params: " + ", ".join(
+                f"{k}={v!r}" for k, v in self.params))
+        return "\n".join(lines)
+
+    def build(self) -> "ControlPolicy":
+        """Instantiate this spec's policy via the registry factory."""
+        return build_policy(self.name)
+
+
+class ControlPolicy:
+    """Factory pair producing the decision laws a board steps.
+
+    Subclasses override the two ``*_law`` builders; everything else a
+    board needs (supervision hooks, fallback tiers, actuation) stays in
+    the board layer regardless of the policy driving it.
+    """
+
+    def __init__(self, spec: ControllerSpec) -> None:
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def exchanges_state(self) -> bool:
+        return self.spec.exchanges_state
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.spec.params:
+            if k == key:
+                return v
+        return default
+
+    def radiant_law(self, name: str, *, preferred_temp_c: float,
+                    pump_curve: PumpCurve, panel: int = 0,
+                    topology: Optional[SystemTopology] = None):
+        """Build the per-panel radiant law ``name`` for ``panel``."""
+        raise NotImplementedError
+
+    def ventilation_law(self, name: str, *, subspace_volume_m3: float,
+                        preferred_temp_c: float,
+                        preferred_rh_percent: float, zone: int = 0,
+                        coil_pump_curve: Optional[PumpCurve] = None,
+                        topology: Optional[SystemTopology] = None):
+        """Build the per-subspace ventilation law ``name`` for ``zone``."""
+        raise NotImplementedError
+
+
+class PidPolicy(ControlPolicy):
+    """The paper's PID decomposition (§III-B/C), argument-for-argument.
+
+    This is the reference policy the goldens pin: both builders forward
+    to the original controller constructors with exactly the keyword
+    set the pre-seam boards passed (in particular the coil pump curve
+    keyword is *omitted* when the board did not supply one, so the
+    class-level default instance is reused unchanged).
+    """
+
+    def radiant_law(self, name: str, *, preferred_temp_c: float,
+                    pump_curve: PumpCurve, panel: int = 0,
+                    topology: Optional[SystemTopology] = None
+                    ) -> RadiantCoolingController:
+        return RadiantCoolingController(
+            name, preferred_temp_c=preferred_temp_c, pump_curve=pump_curve)
+
+    def ventilation_law(self, name: str, *, subspace_volume_m3: float,
+                        preferred_temp_c: float,
+                        preferred_rh_percent: float, zone: int = 0,
+                        coil_pump_curve: Optional[PumpCurve] = None,
+                        topology: Optional[SystemTopology] = None
+                        ) -> VentilationController:
+        if coil_pump_curve is None:
+            return VentilationController(
+                name, subspace_volume_m3=subspace_volume_m3,
+                preferred_temp_c=preferred_temp_c,
+                preferred_rh_percent=preferred_rh_percent)
+        return VentilationController(
+            name, subspace_volume_m3=subspace_volume_m3,
+            preferred_temp_c=preferred_temp_c,
+            preferred_rh_percent=preferred_rh_percent,
+            coil_pump_curve=coil_pump_curve)
+
+
+# ----------------------------------------------------------------------
+# Registry — name -> (spec, factory), mirroring the scenario script and
+# weather builder registries so ``controller`` rides ScenarioSpec as a
+# plain string.
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Tuple[ControllerSpec,
+                           Callable[[ControllerSpec], ControlPolicy]]] = {}
+
+
+def register_controller(spec: ControllerSpec,
+                        factory: Callable[[ControllerSpec], ControlPolicy]
+                        ) -> ControllerSpec:
+    """Register a controller stack under ``spec.name``."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"controller {spec.name!r} already registered")
+    _REGISTRY[spec.name] = (spec, factory)
+    return spec
+
+
+def controller_names() -> List[str]:
+    """Registered controller names, in registration order."""
+    return list(_REGISTRY)
+
+
+def get_controller(name: str) -> ControllerSpec:
+    """The frozen spec registered under ``name``."""
+    try:
+        return _REGISTRY[name][0]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise KeyError(
+            f"unknown controller {name!r} (known: {known})") from None
+
+
+def build_policy(name: str) -> ControlPolicy:
+    """A fresh :class:`ControlPolicy` for the stack named ``name``."""
+    spec = get_controller(name)  # raises with the helpful message
+    return _REGISTRY[name][1](spec)
+
+
+def describe_controller(name: str) -> str:
+    """Human-readable rendering of one registered controller."""
+    return get_controller(name).describe()
+
+
+register_controller(
+    ControllerSpec(
+        name="pid",
+        description=("paper reference: per-panel mixing PID + per-subspace "
+                     "dew-point/CO2 ventilation PID (§III-B/C)"),
+        exchanges_state=False,
+        params=(("radiant_gains", "kp=0.05 ki=0.0008 kd=0.02"),
+                ("vent_gains", "kp=0.01 ki=0.0005 kd=0.004"),
+                ("dew_margin_k", 0.8)),
+    ),
+    PidPolicy)
+
+
+# The alternate stacks register themselves on import; importing them at
+# the bottom keeps their dependence on the classes above cycle-free.
+from repro.control import policy_consensus as _policy_consensus  # noqa: E402
+from repro.control import policy_deadband as _policy_deadband  # noqa: E402
+
+_ = (_policy_consensus, _policy_deadband)

@@ -75,9 +75,13 @@ class BubbleZero:
     def __init__(self, config: Optional[BubbleZeroConfig] = None,
                  weather: Optional[WeatherModel] = None,
                  obs=None,
-                 topology: Optional[SystemTopology] = None) -> None:
+                 topology: Optional[SystemTopology] = None,
+                 controller: str = "pid") -> None:
+        from repro.control.policy import build_policy
         self.config = config or BubbleZeroConfig()
         self.topology = topology or paper_topology()
+        self.controller_name = controller
+        self.policy = build_policy(controller)
         self.sim = Simulator(seed=self.config.seed,
                              start_time=self.config.start_time_s,
                              obs=obs)
@@ -183,10 +187,12 @@ class BubbleZero:
                       use_schedule_adapter=adapter),
             ControlC2(self.sim, self.medium, self.plant,
                       preferred_temp_c=comfort.preferred_temp_c,
+                      policy=self.policy,
                       use_schedule_adapter=adapter),
             ControlV1(self.sim, self.medium, self.plant,
                       preferred_temp_c=comfort.preferred_temp_c,
                       preferred_rh_percent=comfort.preferred_rh_percent,
+                      policy=self.policy,
                       use_schedule_adapter=adapter),
         ]
         for i in range(self.topology.zone_count):
@@ -194,6 +200,7 @@ class BubbleZero:
                 self.sim, self.medium, self.plant, i,
                 preferred_temp_c=comfort.preferred_temp_c,
                 preferred_rh_percent=comfort.preferred_rh_percent,
+                policy=self.policy,
                 use_schedule_adapter=adapter))
             self.boards.append(ControlV3(
                 self.sim, self.medium, self.plant, i,
@@ -201,25 +208,24 @@ class BubbleZero:
 
     def _build_direct_stack(self) -> None:
         """Wired baseline: controllers read the plant truth directly."""
-        from repro.control.radiant import RadiantCoolingController
-        from repro.control.ventilation import VentilationController
-
         comfort = self.config.comfort
         volume = self.plant.room.geometry.subspace_volume_m3
         self._radiant_direct = [
-            RadiantCoolingController(
+            self.policy.radiant_law(
                 f"direct-radiant-{p}",
                 preferred_temp_c=comfort.preferred_temp_c,
-                pump_curve=self.plant.panel_loops[p].supply_pump.curve)
+                pump_curve=self.plant.panel_loops[p].supply_pump.curve,
+                panel=p, topology=self.topology)
             for p in range(self.topology.panel_count)
         ]
         self._vent_direct = [
-            VentilationController(
+            self.policy.ventilation_law(
                 f"direct-vent-{i}", subspace_volume_m3=volume,
                 preferred_temp_c=comfort.preferred_temp_c,
-                preferred_rh_percent=comfort.preferred_rh_percent,
+                preferred_rh_percent=comfort.preferred_rh_percent, zone=i,
                 coil_pump_curve=(
-                    self.plant.vent_units[i].airbox.coil_pump.curve))
+                    self.plant.vent_units[i].airbox.coil_pump.curve),
+                topology=self.topology)
             for i in range(self.topology.zone_count)
         ]
         self._direct_loop = PeriodicTask(
@@ -231,6 +237,20 @@ class BubbleZero:
         room = plant.room
         room_temp = room.mean_temp_c()
         supply = plant.supply_temp_c()
+        if self.policy.exchanges_state:
+            # Wired consensus exchange: the previous step's agent states
+            # circulate in-process (the direct stack has no channel, so
+            # the exchange is lossless but still one period delayed).
+            states = {i: law.shared_state()
+                      for i, law in enumerate(self._vent_direct)
+                      if law.shared_state() is not None}
+            for law in self._vent_direct:
+                law.set_neighbor_states(
+                    {j: states[j] for j in law.neighbors if j in states})
+            for p, law in enumerate(self._radiant_direct):
+                served = self.topology.panel_zones[p]
+                law.set_zone_estimates(
+                    {z: states[z] for z in served if z in states})
         for p, controller in enumerate(self._radiant_direct):
             served = self.topology.panel_zones[p]
             ceiling_dew = max(room.state_of(s).dew_point_c for s in served)

@@ -27,11 +27,9 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.control.radiant import RadiantCoolingController, RadiantInputs
-from repro.control.ventilation import (
-    VentilationController,
-    VentilationInputs,
-)
+from repro.control.policy import ControlPolicy, build_policy
+from repro.control.radiant import RadiantInputs
+from repro.control.ventilation import VentilationInputs
 from repro.core.plant import Plant
 from repro.devices.mote import Mote, PowerSource
 from repro.devices.sensors import (
@@ -292,19 +290,23 @@ class ControlC1(Board):
 class ControlC2(Board):
     """Radiant cooling controller board (paper Fig. 5(b)).
 
-    Hosts one :class:`RadiantCoolingController` per ceiling panel; reads
-    the flow sensors locally (wired) and the water/air temperatures from
+    Hosts one radiant decision law per ceiling panel (built by the
+    injected :class:`~repro.control.policy.ControlPolicy`); reads the
+    flow sensors locally (wired) and the water/air temperatures from
     the channel; drives the supply and recycle pumps through its DAC.
     """
 
     def __init__(self, sim: Simulator, medium: BroadcastMedium,
                  plant: Plant, preferred_temp_c: float = 25.0,
+                 policy: Optional[ControlPolicy] = None,
                  **kwargs) -> None:
         super().__init__(sim, medium, "control-c2", plant, **kwargs)
+        self.policy = policy if policy is not None else build_policy("pid")
         self.controllers = [
-            RadiantCoolingController(
+            self.policy.radiant_law(
                 f"radiant-{p}", preferred_temp_c=preferred_temp_c,
-                pump_curve=plant.panel_loops[p].supply_pump.curve)
+                pump_curve=plant.panel_loops[p].supply_pump.curve,
+                panel=p, topology=plant.topology)
             for p in range(len(plant.panel_loops))
         ]
         self.flow_sensors = [
@@ -316,6 +318,8 @@ class ControlC2(Board):
         for dt in (DataType.TEMPERATURE, DataType.HUMIDITY,
                    DataType.WATER_TEMP):
             self.mote.subscribe(dt)
+        if self.policy.exchanges_state:
+            self.mote.subscribe(DataType.CONSENSUS)
         self._control_task = PeriodicTask(
             sim, "control-c2/loop", CONTROL_PERIOD_S, self._control,
             priority=PRIORITY_CONTROL, jitter=0.5)
@@ -374,6 +378,17 @@ class ControlC2(Board):
                                 DEFAULT_SUPPLY_C)
         room_temp = self._room_temp()
         for p, controller in enumerate(self.controllers):
+            if self.policy.exchanges_state:
+                # Feed the served zones' consensus states heard on the
+                # channel; a zone whose agent has gone silent simply
+                # drops out and the law degrades toward the board's own
+                # room-temperature estimate.
+                estimates: Dict[int, float] = {}
+                for z in self.plant.topology.panel_zones[p]:
+                    value = self.fresh_value(DataType.CONSENSUS, z)
+                    if value is not None:
+                        estimates[z] = value
+                controller.set_zone_estimates(estimates)
             inputs = RadiantInputs(
                 room_temp_c=room_temp,
                 ceiling_dew_point_c=self._ceiling_dew(p),
@@ -407,15 +422,18 @@ class ControlV1(Board):
 
     def __init__(self, sim: Simulator, medium: BroadcastMedium,
                  plant: Plant, preferred_temp_c: float = 25.0,
-                 preferred_rh_percent: float = 65.0, **kwargs) -> None:
+                 preferred_rh_percent: float = 65.0,
+                 policy: Optional[ControlPolicy] = None, **kwargs) -> None:
         super().__init__(sim, medium, "control-v1", plant, **kwargs)
+        self.policy = policy if policy is not None else build_policy("pid")
         volume = plant.room.geometry.subspace_volume_m3
         self.controllers = [
-            VentilationController(
+            self.policy.ventilation_law(
                 f"vent-{i}", subspace_volume_m3=volume,
                 preferred_temp_c=preferred_temp_c,
-                preferred_rh_percent=preferred_rh_percent,
-                coil_pump_curve=plant.vent_units[i].airbox.coil_pump.curve)
+                preferred_rh_percent=preferred_rh_percent, zone=i,
+                coil_pump_curve=plant.vent_units[i].airbox.coil_pump.curve,
+                topology=plant.topology)
             for i in range(len(plant.vent_units))
         ]
         self.coil_flow_sensors = [
@@ -475,15 +493,18 @@ class ControlV2(Board):
     def __init__(self, sim: Simulator, medium: BroadcastMedium,
                  plant: Plant, subspace: int,
                  preferred_temp_c: float = 25.0,
-                 preferred_rh_percent: float = 65.0, **kwargs) -> None:
+                 preferred_rh_percent: float = 65.0,
+                 policy: Optional[ControlPolicy] = None, **kwargs) -> None:
         super().__init__(sim, medium, f"control-v2-{subspace}", plant,
                          **kwargs)
         self.subspace = subspace
+        self.policy = policy if policy is not None else build_policy("pid")
         volume = plant.room.geometry.subspace_volume_m3
-        self.controller = VentilationController(
+        self.controller = self.policy.ventilation_law(
             f"fan-{subspace}", subspace_volume_m3=volume,
             preferred_temp_c=preferred_temp_c,
-            preferred_rh_percent=preferred_rh_percent)
+            preferred_rh_percent=preferred_rh_percent, zone=subspace,
+            topology=plant.topology)
         self.outlet_sensor = SHT75Sensor(
             f"airbox-{subspace}/outlet",
             lambda: plant.airbox_outlet_temp_c(subspace),
@@ -492,6 +513,8 @@ class ControlV2(Board):
         for dt in (DataType.TEMPERATURE, DataType.HUMIDITY,
                    DataType.WATER_TEMP, DataType.CO2):
             self.mote.subscribe(dt)
+        if self.policy.exchanges_state:
+            self.mote.subscribe(DataType.CONSENSUS)
         self._control_task = PeriodicTask(
             sim, f"control-v2-{subspace}/loop", CONTROL_PERIOD_S,
             self._control, priority=PRIORITY_CONTROL, jitter=0.5)
@@ -509,6 +532,14 @@ class ControlV2(Board):
 
     def _control(self, now: float) -> None:
         i = self.subspace
+        if self.policy.exchanges_state:
+            # Latest neighbor consensus states heard over the channel.
+            states: Dict[int, float] = {}
+            for j in self.controller.neighbors:
+                value = self.fresh_value(DataType.CONSENSUS, j)
+                if value is not None:
+                    states[j] = value
+            self.controller.set_neighbor_states(states)
         room_dew = self.room_dew_point(i)
         inputs = VentilationInputs(
             room_temp_c=self.bus_value(DataType.TEMPERATURE, ("room", i),
@@ -523,6 +554,12 @@ class ControlV2(Board):
         self.plant.vent_units[i].airbox.set_fan_flow_demand(
             command.fan_flow_demand_m3s)
         self.mote.broadcast(DataType.FAN_CMD, command.fan_speed_step, key=i)
+        if self.policy.exchanges_state:
+            state = self.controller.shared_state()
+            if state is not None:
+                # Zone-to-zone consensus exchange: one extra frame per
+                # control period, paid on the real channel.
+                self.mote.broadcast(DataType.CONSENSUS, state, key=i)
         self.sim.trace.record(f"vent/fan_step/{i}", now,
                               command.fan_speed_step)
         self._note_actuation(now)

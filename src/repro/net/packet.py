@@ -43,6 +43,9 @@ class DataType(enum.Enum):
     PUMP_CMD = "pump_cmd"
     FAN_CMD = "fan_cmd"
     FLAP_CMD = "flap_cmd"
+    # Zone-to-zone consensus state exchange (decentralized temperature
+    # control; only the ``consensus`` policy ever emits these frames).
+    CONSENSUS = "consensus"
 
 
 _packet_ids = itertools.count(1)

@@ -187,8 +187,9 @@ def render_status(telemetry: Dict[str, object]) -> str:
     manifest = telemetry.get("manifest") or {}
     if manifest:
         rows = [(key, _fmt(manifest[key]))
-                for key in ("command", "seed", "config_hash", "git_rev",
-                            "platform", "cpu_count")
+                for key in ("command", "seed", "controller",
+                            "config_hash", "git_rev", "platform",
+                            "cpu_count")
                 if key in manifest]
         packages = manifest.get("packages") or {}
         rows.extend((f"packages.{name}", version)

@@ -154,6 +154,10 @@ class LockstepBatch:
                 "lockstep batching supports fault-free, scriptless "
                 "scenarios only (workload events would have to fire on "
                 "every replica's own schedule)")
+        if spec.controller != "pid":
+            raise ValueError(
+                "lockstep batching transcribes the reference pid law; "
+                f"controller {spec.controller!r} cannot be batched")
         self.spec = spec
         self.seeds = list(seeds)
         self.specs = [

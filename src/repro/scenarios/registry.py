@@ -373,5 +373,33 @@ def _register_all() -> None:
         run_minutes=20.0,
         warmup_minutes=5.0))
 
+    # Controller bake-off cells: every registered control stack crossed
+    # with the paper lab and the 8/32-zone grids, network mode, so the
+    # comparison includes each stack's real channel load (the consensus
+    # stack's zone-to-zone frames are part of its cost).  Horizons are
+    # defaults; BakeoffConfig replaces run length and seed per run.
+    from repro.control.policy import controller_names
+    for ctrl in controller_names():
+        register_scenario(ScenarioSpec(
+            name=f"bakeoff/{ctrl}/paper",
+            description=f"{ctrl} stack on the paper 4-zone lab "
+                        "(bake-off cell)",
+            config=paper_config,
+            controller=ctrl,
+            run_minutes=45.0,
+            warmup_minutes=10.0))
+        for zones, cols in ((8, 4), (32, 8)):
+            register_scenario(ScenarioSpec(
+                name=f"bakeoff/{ctrl}/{zones}z",
+                description=f"{ctrl} stack on the {zones}-zone "
+                            "network-mode grid under tropical weather "
+                            "(bake-off cell)",
+                config=paper_config,
+                topology=grid_topology(zones, cols=cols),
+                weather="tropical",
+                controller=ctrl,
+                run_minutes=45.0,
+                warmup_minutes=10.0))
+
 
 _register_all()

@@ -77,6 +77,7 @@ class ScenarioSpec:
     faults: Tuple[Fault, ...] = ()
     run_minutes: float = 45.0
     warmup_minutes: float = 0.0
+    controller: str = "pid"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
@@ -84,6 +85,11 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown workload script {self.script!r}; known: "
                 f"{', '.join(sorted(SCRIPT_BUILDERS))}")
+        from repro.control.policy import controller_names
+        if self.controller not in controller_names():
+            raise ValueError(
+                f"unknown controller {self.controller!r}; known: "
+                f"{', '.join(sorted(controller_names()))}")
         if self.weather not in WEATHER_BUILDERS:
             raise ValueError(
                 f"unknown weather model {self.weather!r}; known: "
@@ -118,6 +124,9 @@ class ScenarioSpec:
             f"{self.topology.panel_count} panels)")
         lines.append(f"  weather: {self.weather}")
         lines.append(f"  script: {self.script}")
+        from repro.control.policy import describe_controller
+        lines.append("  " + describe_controller(self.controller)
+                     .replace("\n", "\n  "))
         mode = ("direct" if not self.config.network.enabled
                 else self.config.network.bt_mode)
         lines.append(f"  network: {mode}")
@@ -136,7 +145,8 @@ def build_system(spec: ScenarioSpec, obs=None):
     from repro.core.system import BubbleZero
 
     return BubbleZero(spec.config, weather=spec.build_weather(),
-                      obs=obs, topology=spec.topology)
+                      obs=obs, topology=spec.topology,
+                      controller=spec.controller)
 
 
 def prepare_run(spec: ScenarioSpec, obs=None):

@@ -77,12 +77,20 @@ class CampaignConfig:
     # system needs ~30 min to approach the target condition); otherwise
     # the transient's violation minutes drown the fault's actual cost.
     warmup_minutes: float = 30.0
+    # Decision law for baseline and every cell (repro.control.policy),
+    # so fault tolerance can be compared across control stacks.
+    controller: str = "pid"
 
     def __post_init__(self) -> None:
         if self.run_minutes <= 0:
             raise ValueError("campaign runs must have positive length")
         if not 0 <= self.warmup_minutes < self.run_minutes:
             raise ValueError("warmup must fit inside the run")
+        from repro.control.policy import controller_names
+        if self.controller not in controller_names():
+            raise ValueError(
+                f"unknown controller {self.controller!r}; known: "
+                f"{', '.join(sorted(controller_names()))}")
         names = [cell.name for cell in self.cells]
         if len(set(names)) != len(names):
             raise ValueError("campaign cell names must be unique")
@@ -250,15 +258,20 @@ def campaign_specs(config: CampaignConfig,
     from repro.core.config import BubbleZeroConfig
 
     base_config = BubbleZeroConfig(seed=config.seed)
-    specs = [RunSpec(label="baseline", config=base_config,
-                     run_minutes=config.run_minutes,
-                     warmup_minutes=config.warmup_minutes,
-                     telemetry=telemetry, trace=trace)]
+    specs = [RunSpec(
+        label="baseline",
+        scenario=ScenarioSpec(
+            name="baseline", config=base_config,
+            controller=config.controller,
+            run_minutes=config.run_minutes,
+            warmup_minutes=config.warmup_minutes),
+        telemetry=telemetry, trace=trace)]
     for cell in config.cells:
         scenario = ScenarioSpec(
             name=cell.name, config=base_config,
             fault_script=cell.registry_name or "none",
             faults=() if cell.registry_name else tuple(cell.faults),
+            controller=config.controller,
             run_minutes=config.run_minutes,
             warmup_minutes=config.warmup_minutes)
         specs.append(RunSpec(label=cell.name, scenario=scenario,
@@ -310,10 +323,12 @@ def campaign_manifest(config: CampaignConfig) -> Dict[str, object]:
             "seed": config.seed,
             "run_minutes": config.run_minutes,
             "warmup_minutes": config.warmup_minutes,
+            "controller": config.controller,
             "cells": [cell.name for cell in config.cells],
         },
         seed=config.seed,
-        extra={"cells": [cell.name for cell in config.cells]})
+        extra={"controller": config.controller,
+               "cells": [cell.name for cell in config.cells]})
 
 
 def run_campaign(config: CampaignConfig,

@@ -550,6 +550,7 @@ def merge_chaos(config: ChaosConfig,
 def chaos_manifest(config: ChaosConfig) -> Dict[str, object]:
     """Provenance block for a chaos report or telemetry directory."""
     from repro.obs.manifest import build_manifest
+    from repro.scenarios.registry import get_scenario
 
     return build_manifest(
         command="chaos",
@@ -563,6 +564,9 @@ def chaos_manifest(config: ChaosConfig) -> Dict[str, object]:
             "budgets": config.budgets.as_dict(),
             "hazard": config.hazard.as_dict(),
             "trace": config.trace,
+            # The decision law of the base scenario; "controllers" above
+            # predates the policy layer and names bt_mode variants.
+            "control_policy": get_scenario(config.scenario).controller,
         },
         seed=config.seeds[0],
         extra={"runs": [label for _, _, label in config.run_labels()]})

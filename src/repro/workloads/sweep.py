@@ -42,6 +42,8 @@ class SweepConfig:
     script: str = "none"
     direct: bool = False
     fixed_tx: bool = False
+    # Decision law for every replicate (see repro.control.policy).
+    controller: str = "pid"
     # Shard the seeds into consecutive groups of this size, each run as
     # one :class:`~repro.runtime.lockstep.LockstepBatch` (first seed of
     # a group = bit-exact master lane, the rest replica lane).  Groups
@@ -58,6 +60,11 @@ class SweepConfig:
             raise ValueError("sweep runs must have positive length")
         if not 0 <= self.warmup_minutes < self.run_minutes:
             raise ValueError("warmup must fit inside the run")
+        from repro.control.policy import controller_names
+        if self.controller not in controller_names():
+            raise ValueError(
+                f"unknown controller {self.controller!r}; known: "
+                f"{', '.join(sorted(controller_names()))}")
         if self.lockstep_batch is not None:
             if self.lockstep_batch < 2:
                 raise ValueError("lockstep batch must be at least 2 seeds")
@@ -67,6 +74,10 @@ class SweepConfig:
             if self.script != "none":
                 raise ValueError(
                     "lockstep batching requires a scriptless sweep")
+            if self.controller != "pid":
+                raise ValueError(
+                    "lockstep batching transcribes the reference pid "
+                    "law; run other controllers unbatched")
 
 
 @dataclass
@@ -94,6 +105,7 @@ class SweepResult:
             "script": self.config.script,
             "direct": self.config.direct,
             "fixed_tx": self.config.fixed_tx,
+            "controller": self.config.controller,
             "lockstep_batch": self.config.lockstep_batch,
             "runs": [
                 {
@@ -131,6 +143,7 @@ def sweep_specs(config: SweepConfig,
             base, name=name,
             config=BubbleZeroConfig(seed=seed, network=network),
             script=config.script,
+            controller=config.controller,
             run_minutes=config.run_minutes,
             warmup_minutes=config.warmup_minutes)
 
@@ -171,9 +184,11 @@ def sweep_manifest(config: SweepConfig) -> Dict[str, object]:
             "script": config.script,
             "direct": config.direct,
             "fixed_tx": config.fixed_tx,
+            "controller": config.controller,
             "lockstep_batch": config.lockstep_batch,
         },
-        seed=config.seeds[0])
+        seed=config.seeds[0],
+        extra={"controller": config.controller})
 
 
 def _expected_payloads(config: SweepConfig) -> int:
